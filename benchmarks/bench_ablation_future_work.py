@@ -1,0 +1,71 @@
+"""Ablation: the paper's §10 future-work conjectures, quantified.
+
+Conjecture 1 — multicycle L1s "reduce the effectiveness of two-level
+on-chip caching" (the clock no longer pays for a big L1).
+
+Conjecture 2 — non-blocking loads "may increase the benefits of a
+two-level on-chip caching organization".
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.evaluate import evaluate
+from repro.ext.multicycle import evaluate_multicycle
+from repro.ext.nonblocking import evaluate_non_blocking
+from repro.study.report import render_table
+from repro.units import kb
+
+SINGLE = SystemConfig(l1_bytes=kb(64))
+TWO = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(128))
+
+
+def test_conjecture1_multicycle_l1(benchmark, bench_scale, output_dir):
+    def run():
+        rows = []
+        for workload in ("gcc1", "tomcatv", "espresso"):
+            base_gain = (
+                evaluate(SINGLE, workload, scale=bench_scale).tpi_ns
+                / evaluate(TWO, workload, scale=bench_scale).tpi_ns
+            )
+            multi_gain = (
+                evaluate_multicycle(SINGLE, workload, scale=bench_scale).tpi_ns
+                / evaluate_multicycle(TWO, workload, scale=bench_scale).tpi_ns
+            )
+            rows.append((workload, base_gain, multi_gain))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ("workload", "baseline 2-level gain", "multicycle 2-level gain"), rows
+    )
+    (output_dir / "ablation_multicycle.txt").write_text(text + "\n")
+    print("\n" + text)
+    # The conjecture: the two-level gain shrinks under multicycle L1s.
+    for _, base_gain, multi_gain in rows:
+        assert multi_gain < base_gain
+
+
+def test_conjecture2_non_blocking_loads(benchmark, bench_scale, output_dir):
+    single_small = SystemConfig(l1_bytes=kb(2))
+    two_small = SystemConfig(l1_bytes=kb(2), l2_bytes=kb(32))
+
+    def run():
+        rows = []
+        for overlap in (0.0, 0.3, 0.6, 0.9):
+            s = evaluate_non_blocking(
+                single_small, "gcc1", overlap=overlap, scale=bench_scale
+            )
+            t = evaluate_non_blocking(
+                two_small, "gcc1", overlap=overlap, scale=bench_scale
+            )
+            rows.append((overlap, s.tpi_ns, t.tpi_ns, s.tpi_ns / t.tpi_ns))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ("overlap", "single 2:0 tpi", "two-level 2:32 tpi", "2-level gain"), rows
+    )
+    (output_dir / "ablation_nonblocking.txt").write_text(text + "\n")
+    print("\n" + text)
+    # Two-level stays preferable at every overlap level.
+    for _, _, _, gain in rows:
+        assert gain > 1.0

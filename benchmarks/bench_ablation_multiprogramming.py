@@ -1,0 +1,50 @@
+"""Ablation: multiprogramming interference (§2.2's excluded effect).
+
+Interleaves two workloads with several context-switch quanta and shows
+how much of the interference a large mixed L2 absorbs — the flexible
+allocation argument of the paper's introduction, under pressure.
+"""
+
+from repro.ext.multiprogramming import multiprogramming_study
+from repro.study.report import render_table
+from repro.units import kb
+
+
+def test_multiprogramming_interference(benchmark, bench_scale, output_dir):
+    scale = min(bench_scale, 0.5)
+
+    def run():
+        rows = []
+        for quantum in (2_000, 20_000, 100_000):
+            for l2_kb in (0, 64, 256):
+                result = multiprogramming_study(
+                    "espresso",
+                    "li",
+                    kb(8),
+                    kb(l2_kb) if l2_kb else 0,
+                    quantum_instructions=quantum,
+                    scale=scale,
+                )
+                rows.append(
+                    (
+                        quantum,
+                        f"8:{l2_kb}",
+                        result.solo_global_miss_rate,
+                        result.combined.global_miss_rate,
+                        result.interference_factor,
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ("quantum", "config", "solo_offchip_mr", "mixed_offchip_mr", "inflation"),
+        rows,
+    )
+    (output_dir / "ablation_multiprogramming.txt").write_text(text + "\n")
+    print("\n" + text)
+    by_key = {(q, c): infl for q, c, _, _, infl in rows}
+    # Finer quanta interfere at least as much as coarse ones.
+    assert by_key[(2_000, "8:0")] >= by_key[(100_000, "8:0")] - 0.05
+    # A 256 KB L2 absorbs interference better than none.
+    assert by_key[(2_000, "8:256")] <= by_key[(2_000, "8:0")] + 0.05

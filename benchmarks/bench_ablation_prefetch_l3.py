@@ -1,0 +1,110 @@
+"""Ablation: stream buffers, the explicit board cache, and banking.
+
+Three more structures from the paper's reference list, put next to the
+organisations the paper evaluates:
+
+* stream buffers (Jouppi'90 [4]) on the instruction miss path;
+* an explicit board-level L3 replacing the constant 50/200 ns off-chip
+  abstraction (§8's closing remark);
+* banked vs dual-ported L1s (§6 / Sohi & Franklin [8]) at equal target
+  bandwidth.
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.evaluate import evaluate
+from repro.ext.banking import evaluate_banked
+from repro.ext.l3 import evaluate_with_board_cache
+from repro.ext.stream_buffer import simulate_stream_buffer
+from repro.study.report import render_table
+from repro.units import kb
+
+
+def test_stream_buffers_per_workload(benchmark, bench_scale, output_dir):
+    def run():
+        rows = []
+        for workload in ("fpppp", "gcc1", "eqntott"):
+            stats = simulate_stream_buffer(
+                workload, kb(4), n_buffers=4, buffer_depth=4, scale=bench_scale
+            )
+            rows.append(
+                (
+                    workload,
+                    stats.l1i_misses,
+                    stats.buffer_hits,
+                    stats.buffer_hit_rate,
+                    stats.miss_rate_below,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ("workload", "I_misses", "buffer_hits", "I_hit_rate", "mr_below"), rows
+    )
+    (output_dir / "ablation_stream_buffers.txt").write_text(text + "\n")
+    print("\n" + text)
+    by_wl = {r[0]: r[3] for r in rows}
+    # Sequential code (fpppp) gains most; branchy tables (eqntott) least.
+    assert by_wl["fpppp"] > by_wl["eqntott"]
+
+
+def test_board_cache_vs_constant_offchip(benchmark, bench_scale, output_dir):
+    config = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64))
+
+    def run():
+        rows = []
+        for l3_kb in (256, 1024, 4096):
+            result = evaluate_with_board_cache(
+                config, "gcc1", l3_bytes=kb(l3_kb), scale=bench_scale
+            )
+            rows.append(
+                (
+                    f"{l3_kb}K",
+                    result.l3_local_miss_rate,
+                    result.effective_off_chip_ns,
+                    result.tpi_ns,
+                    result.constant_model_tpi_ns,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ("L3", "l3_local_mr", "eff_offchip_ns", "tpi_ns", "50ns-model tpi"), rows
+    )
+    (output_dir / "ablation_board_cache.txt").write_text(text + "\n")
+    print("\n" + text)
+    tpis = [r[3] for r in rows]
+    assert tpis == sorted(tpis, reverse=True)  # bigger L3 never hurts
+
+
+def test_banked_vs_dual_ported(benchmark, bench_scale, output_dir):
+    config = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64))
+
+    def run():
+        rows = []
+        single = evaluate(config, "gcc1", scale=bench_scale)
+        rows.append(("single-issue", single.tpi_ns, single.area_rbe))
+        for n_banks in (2, 4, 8):
+            banked = evaluate_banked(config, "gcc1", n_banks=n_banks, scale=bench_scale)
+            rows.append((f"banked x{n_banks}", banked.tpi_ns, banked.area_rbe))
+        dual = evaluate(config.dual_ported(), "gcc1", scale=bench_scale)
+        rows.append(("dual-ported", dual.tpi_ns, dual.area_rbe))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(("organisation", "tpi_ns", "area_rbe"), rows)
+    (output_dir / "ablation_banking.txt").write_text(text + "\n")
+    print("\n" + text)
+    by_name = {r[0]: r for r in rows}
+    # Banking sits between single-issue and dual-ported on both axes.
+    assert (
+        by_name["dual-ported"][1]
+        < by_name["banked x4"][1]
+        < by_name["single-issue"][1]
+    )
+    assert (
+        by_name["single-issue"][2]
+        < by_name["banked x4"][2]
+        < by_name["dual-ported"][2]
+    )

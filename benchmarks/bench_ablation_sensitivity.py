@@ -1,0 +1,64 @@
+"""Ablation: sensitivity sweeps around the paper's fixed parameters.
+
+Off-chip latency beyond the paper's two points, line size beyond the
+fixed 16 bytes, and the warmup window this reproduction substitutes for
+the paper's very long traces.
+"""
+
+from repro.core.config import SystemConfig
+from repro.study.report import render_table
+from repro.study.sensitivity import (
+    line_size_sensitivity,
+    off_chip_sensitivity,
+    warmup_sensitivity,
+)
+from repro.units import kb
+
+
+def test_off_chip_latency_sweep(benchmark, bench_scale, output_dir):
+    def run():
+        return off_chip_sensitivity(
+            "gcc1",
+            area_budgets_rbe=[5e5, 2e6],
+            off_chip_values_ns=(25.0, 50.0, 100.0, 200.0, 400.0),
+            scale=bench_scale,
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(series.columns, series.rows)
+    (output_dir / "sensitivity_offchip.txt").write_text(text + "\n")
+    print("\n" + text)
+    # The two-level advantage at the big budget grows with latency.
+    big = [r for r in series.rows if r[1] == 2e6]
+    assert big[-1][4] >= big[0][4] - 1.0
+
+
+def test_line_size_sweep(benchmark, bench_scale, output_dir):
+    def run():
+        return line_size_sensitivity(
+            "gcc1",
+            SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64)),
+            line_sizes=(16, 32, 64),
+            scale=bench_scale,
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(series.columns, series.rows)
+    (output_dir / "sensitivity_line_size.txt").write_text(text + "\n")
+    print("\n" + text)
+    rates = series.column("l1_miss_rate")
+    assert rates == sorted(rates, reverse=True)  # spatial prefetch helps
+
+
+def test_warmup_window_sweep(benchmark, bench_scale, output_dir):
+    def run():
+        return warmup_sensitivity(
+            "gcc1", kb(16), kb(128), scale=bench_scale
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(series.columns, series.rows)
+    (output_dir / "sensitivity_warmup.txt").write_text(text + "\n")
+    print("\n" + text)
+    rates = series.column("global_miss_rate")
+    assert rates[0] >= rates[-1] - 1e-6  # cold misses only inflate

@@ -1,0 +1,86 @@
+"""Ablation: write-back traffic that §2.2's writes-as-reads model hides.
+
+Quantifies (a) how much TPI the abstraction under-reports, and (b) the
+off-chip write traffic under each policy — exclusive caching turns out
+to keep dirty data on-chip as a side effect of writing every victim
+into the L2.
+"""
+
+from repro.cache.hierarchy import Policy
+from repro.core.config import SystemConfig
+from repro.ext.writes import count_write_traffic, evaluate_with_writes
+from repro.study.report import render_table
+from repro.units import kb
+
+
+def test_writeback_tpi_overhead(benchmark, bench_scale, output_dir):
+    configs = [
+        SystemConfig(l1_bytes=kb(8)),
+        SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64)),
+        SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64), policy=Policy.EXCLUSIVE),
+        SystemConfig(l1_bytes=kb(32), l2_bytes=kb(256)),
+    ]
+
+    def run():
+        rows = []
+        for config in configs:
+            result = evaluate_with_writes(config, "gcc1", scale=bench_scale)
+            rows.append(
+                (
+                    config.label
+                    + (" excl" if config.policy is Policy.EXCLUSIVE else ""),
+                    result.baseline_tpi_ns,
+                    result.tpi_ns,
+                    result.writeback_overhead * 100.0,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ("config", "paper-model tpi", "with writebacks", "overhead_%"), rows
+    )
+    (output_dir / "ablation_writes_tpi.txt").write_text(text + "\n")
+    print("\n" + text)
+    # The paper's abstraction is vindicated: overhead stays small.
+    for _, _, _, overhead in rows:
+        assert overhead < 10.0
+
+
+def test_offchip_write_traffic_by_policy(benchmark, bench_scale, output_dir):
+    def run():
+        rows = []
+        for l2_kb in (32, 128):
+            conv = count_write_traffic(
+                "gcc1", kb(8), kb(l2_kb), 4, Policy.CONVENTIONAL, scale=bench_scale
+            )
+            excl = count_write_traffic(
+                "gcc1", kb(8), kb(l2_kb), 4, Policy.EXCLUSIVE, scale=bench_scale
+            )
+            rows.append(
+                (
+                    f"8:{l2_kb}",
+                    conv.offchip_writes,
+                    excl.offchip_writes,
+                    conv.l1_writebacks_offchip,
+                    excl.l1_writebacks_offchip,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        (
+            "config",
+            "conv offchip writes",
+            "excl offchip writes",
+            "conv direct-to-pin",
+            "excl direct-to-pin",
+        ),
+        rows,
+    )
+    (output_dir / "ablation_writes_traffic.txt").write_text(text + "\n")
+    print("\n" + text)
+    for _, _, _, _, excl_direct in rows:
+        # Exclusion writes every victim into the L2: nothing bypasses it.
+        assert excl_direct == 0

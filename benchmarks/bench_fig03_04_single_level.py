@@ -1,0 +1,28 @@
+"""Figures 3–4: single-level TPI vs area for all seven workloads."""
+
+from repro.units import kb
+
+
+def _interior_minimum(series):
+    tpis = series.column("tpi_ns")
+    labels = series.column("config")
+    best = tpis.index(min(tpis))
+    return labels[best]
+
+
+def test_fig3_gcc1_espresso_doduc_fpppp(run_exhibit):
+    result = run_exhibit("fig3")
+    for series in result.series:
+        tpis = series.column("tpi_ns")
+        assert len(tpis) == 9
+        # the paper's headline: larger is not always better
+        assert tpis[0] > min(tpis)
+
+
+def test_fig4_li_eqntott_tomcatv(run_exhibit):
+    result = run_exhibit("fig4")
+    # every workload has an interior minimum between 8K and 128K
+    for series in result.series:
+        best_label = _interior_minimum(series)
+        l1_kb = int(best_label.split(":")[0])
+        assert 8 <= l1_kb <= 128, series.name

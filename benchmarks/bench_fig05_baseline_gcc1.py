@@ -1,0 +1,17 @@
+"""Figure 5: gcc1 full two-level design space (4-way L2, 50 ns)."""
+
+
+def test_fig5_gcc1_baseline_two_level(run_exhibit):
+    result = run_exhibit("fig5")
+    cloud = result.get_series("gcc1 all configs")
+    envelope = result.get_series("gcc1 best 2-level config")
+    singles = result.get_series("gcc1 1-level only")
+
+    assert len(cloud.rows) == 45  # the paper's full configuration set
+    # The envelope is the staircase of the cloud.
+    env_tpis = envelope.column("tpi_ns")
+    assert env_tpis == sorted(env_tpis, reverse=True)
+    assert min(env_tpis) == min(cloud.column("tpi_ns"))
+    # Single-level staircase sits on or above the full envelope at the
+    # right edge (two-level eventually wins).
+    assert env_tpis[-1] < singles.column("tpi_ns")[-1]

@@ -1,0 +1,14 @@
+"""Figures 6–8: baseline two-level envelopes for the other six workloads."""
+
+import pytest
+
+
+@pytest.mark.parametrize("experiment_id", ["fig6", "fig7", "fig8"])
+def test_baseline_envelopes(run_exhibit, experiment_id):
+    result = run_exhibit(experiment_id)
+    # two workloads x (best envelope + 1-level staircase)
+    assert len(result.series) == 4
+    for series in result.series:
+        tpis = series.column("tpi_ns")
+        assert tpis == sorted(tpis, reverse=True)
+        assert all(t > 0 for t in tpis)

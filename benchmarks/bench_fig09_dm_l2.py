@@ -1,0 +1,11 @@
+"""Figure 9: gcc1 with a direct-mapped second level."""
+
+
+def test_fig9_gcc1_direct_mapped_l2(run_exhibit):
+    result = run_exhibit("fig9")
+    cloud = result.get_series("gcc1 all configs")
+    assert len(cloud.rows) == 45
+    envelope = result.get_series("gcc1 best 2-level config")
+    assert envelope.column("tpi_ns") == sorted(
+        envelope.column("tpi_ns"), reverse=True
+    )

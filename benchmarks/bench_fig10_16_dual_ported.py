@@ -1,0 +1,31 @@
+"""Figures 10–16: dual-ported first-level caches (2X area, 2X issue)."""
+
+import pytest
+
+_FIGURES = {
+    "fig10": "gcc1",
+    "fig11": "espresso",
+    "fig12": "doduc",
+    "fig13": "fpppp",
+    "fig14": "li",
+    "fig15": "eqntott",
+    "fig16": "tomcatv",
+}
+
+
+@pytest.mark.parametrize("experiment_id", sorted(_FIGURES))
+def test_dual_ported_figures(run_exhibit, experiment_id):
+    workload = _FIGURES[experiment_id]
+    result = run_exhibit(experiment_id)
+    base = result.get_series(f"{workload} 1-level base system")
+    dual = result.get_series(f"{workload} 1-level dual ported")
+    best = result.get_series(f"{workload} best 2-level config")
+
+    # All three envelopes are staircases.
+    for series in (base, dual, best):
+        tpis = series.column("tpi_ns")
+        assert tpis == sorted(tpis, reverse=True)
+
+    # The two-level dual-ported envelope reaches at least as low as the
+    # single-level dual-ported one (it contains those configs).
+    assert min(best.column("tpi_ns")) <= min(dual.column("tpi_ns")) + 1e-9

@@ -1,0 +1,28 @@
+"""Figures 17–20: 200 ns off-chip service (no board-level cache)."""
+
+import pytest
+
+
+def _staircase_series(result):
+    """Envelope/staircase series only (clouds are not monotone)."""
+    return [
+        s
+        for s in result.series
+        if "best" in s.name or "1-level" in s.name
+    ]
+
+
+@pytest.mark.parametrize("experiment_id", ["fig17", "fig18", "fig19", "fig20"])
+def test_long_offchip_figures(run_exhibit, experiment_id):
+    result = run_exhibit(experiment_id)
+    for series in _staircase_series(result):
+        tpis = series.column("tpi_ns")
+        assert tpis == sorted(tpis, reverse=True)
+
+
+def test_fig17_small_caches_hurt_badly(run_exhibit):
+    result = run_exhibit("fig17")
+    cloud = result.get_series("gcc1 all configs")
+    by_label = dict(zip(cloud.column("config"), cloud.column("tpi_ns")))
+    # At 200 ns the 1:0 machine is dramatically slower than 32:256.
+    assert by_label["1:0"] > 3 * by_label["32:256"]

@@ -1,0 +1,18 @@
+"""Figure 21: exclusion vs inclusion during swapping (didactic demo)."""
+
+
+def test_fig21_exclusion_vs_inclusion(run_exhibit):
+    result = run_exhibit("fig21", uses_traces=False)
+    series = result.series[0]
+    rows = {(r[0], r[1]): r for r in series.rows}
+
+    conv_a = rows[("(a) L2 conflict (A,E)", "conventional")]
+    excl_a = rows[("(a) L2 conflict (A,E)", "exclusive")]
+    # Conventional thrashes off-chip on every reference; exclusive
+    # services everything on-chip via swaps.
+    assert conv_a[5] == conv_a[2]  # off_chip == data_refs
+    assert excl_a[5] == 0
+
+    for policy in ("conventional", "exclusive"):
+        row = rows[("(b) L1-only conflict (A,B)", policy)]
+        assert row[5] == 0  # inclusion persists, nothing goes off-chip

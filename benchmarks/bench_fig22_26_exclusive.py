@@ -1,0 +1,31 @@
+"""Figures 22–26: two-level exclusive caching."""
+
+import pytest
+
+
+def _staircase_series(result):
+    """Envelope/staircase series only (clouds are not monotone)."""
+    return [
+        s
+        for s in result.series
+        if "best" in s.name or "1-level" in s.name
+    ]
+
+
+@pytest.mark.parametrize(
+    "experiment_id", ["fig22", "fig23", "fig24", "fig25", "fig26"]
+)
+def test_exclusive_figures(run_exhibit, experiment_id):
+    result = run_exhibit(experiment_id)
+    for series in _staircase_series(result):
+        tpis = series.column("tpi_ns")
+        assert tpis == sorted(tpis, reverse=True)
+
+
+def test_fig23_exclusive_beats_plain_envelope_floor(run_exhibit):
+    """The exclusive 4-way envelope reaches at least as low as the
+    single-level staircase — the §8 improvement in compact form."""
+    result = run_exhibit("fig23")
+    envelope = result.get_series("gcc1 best 2-level config")
+    singles = result.get_series("gcc1 1-level only")
+    assert min(envelope.column("tpi_ns")) < min(singles.column("tpi_ns"))

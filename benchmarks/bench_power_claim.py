@@ -1,0 +1,75 @@
+"""The introduction's fifth advantage: two-level caching uses less power.
+
+Compares energy per instruction of a large single-level configuration
+against a two-level configuration of comparable total area, plus the
+per-access energy curve that drives the effect (long word/bit lines in
+big flat arrays).
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.evaluate import system_area_rbe
+from repro.power.energy import optimal_access_energy
+from repro.power.system import energy_per_instruction
+from repro.study.report import render_table
+from repro.units import kb
+
+
+def test_per_access_energy_curve(benchmark, output_dir):
+    def run():
+        return [
+            (f"{k}K", optimal_access_energy(kb(k)).total)
+            for k in (1, 2, 4, 8, 16, 32, 64, 128, 256)
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(("cache size", "access energy (pJ)"), rows)
+    (output_dir / "power_access_curve.txt").write_text(text + "\n")
+    print("\n" + text)
+    energies = [e for _, e in rows]
+    assert energies == sorted(energies)
+
+
+def test_claim5_two_level_uses_less_power(benchmark, bench_scale, output_dir):
+    pairs = [
+        (SystemConfig(l1_bytes=kb(64)), SystemConfig(l1_bytes=kb(8), l2_bytes=kb(128))),
+        (SystemConfig(l1_bytes=kb(128)), SystemConfig(l1_bytes=kb(16), l2_bytes=kb(256))),
+    ]
+
+    def run():
+        rows = []
+        for single, two in pairs:
+            for workload in ("gcc1", "li"):
+                e_single = energy_per_instruction(single, workload, scale=bench_scale)
+                e_two = energy_per_instruction(two, workload, scale=bench_scale)
+                rows.append(
+                    (
+                        workload,
+                        single.label,
+                        system_area_rbe(single),
+                        e_single.epi_pj,
+                        two.label,
+                        system_area_rbe(two),
+                        e_two.epi_pj,
+                        e_single.epi_pj / e_two.epi_pj,
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        (
+            "workload",
+            "single",
+            "area",
+            "single_epi_pJ",
+            "two-level",
+            "area",
+            "two_epi_pJ",
+            "power_ratio",
+        ),
+        rows,
+    )
+    (output_dir / "power_claim5.txt").write_text(text + "\n")
+    print("\n" + text)
+    for row in rows:
+        assert row[-1] > 1.0, "two-level must use less energy per instruction"

@@ -1,0 +1,13 @@
+"""Table 1: trace generation and reference accounting for all seven
+workloads (this is the trace-substrate benchmark)."""
+
+
+def test_table1_test_program_references(run_exhibit):
+    result = run_exhibit("table1")
+    series = result.series[0]
+    assert len(series.rows) == 7
+    # Data-per-instruction ratios must track the paper's Table 1.
+    for synth, paper in zip(
+        series.column("synth_data_ratio"), series.column("paper_data_ratio")
+    ):
+        assert abs(synth - paper) < 0.05

@@ -1,0 +1,62 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every benchmark regenerates one paper exhibit end-to-end (traces →
+simulation → timing/area models → TPI series), measures the wall time
+of that regeneration with pytest-benchmark (a single cold round — the
+library memoises aggressively, so repeated rounds would measure cache
+hits), and writes the rendered series to ``benchmarks/output/<id>.txt``
+so the rows the paper reports can be inspected after a run.
+
+The trace scale is taken from ``REPRO_BENCH_SCALE`` (default 0.5, i.e.
+500k instructions per workload).  Results at different scales differ in
+noise, not shape.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.study import run_experiment
+from repro.study.registry import ExperimentResult
+
+#: Default trace scale for benches; override with REPRO_BENCH_SCALE.
+DEFAULT_BENCH_SCALE = 0.5
+
+_OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    raw = os.environ.get("REPRO_BENCH_SCALE", "")
+    return float(raw) if raw else DEFAULT_BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    _OUTPUT_DIR.mkdir(exist_ok=True)
+    return _OUTPUT_DIR
+
+
+@pytest.fixture
+def run_exhibit(benchmark, bench_scale, output_dir):
+    """Benchmark one experiment id and persist its rendered series."""
+
+    def run(experiment_id: str, uses_traces: bool = True) -> ExperimentResult:
+        scale = bench_scale if uses_traces else None
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": scale},
+            rounds=1,
+            iterations=1,
+        )
+        text = result.render()
+        (output_dir / f"{experiment_id}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return result
+
+    return run

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Design-space exploration: what is the best cache organisation for a
+given chip-area budget?
+
+Run:
+    python examples/design_space_exploration.py --workload li --budget 1e6
+
+Sweeps the paper's full design space (single-level 1–256 KB and
+two-level combinations with a 4-way L2), draws the best-performance
+envelope, and answers the designer's question the paper poses in §3:
+given N rbe of die area, which configuration minimises TPI — and is it
+one or two levels?
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import SystemConfig, best_envelope, design_space, kb, sweep
+from repro.core.envelope import envelope_tpi_at
+from repro.study.report import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="li")
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=1e6,
+        help="available chip area in rbe (the paper's X axis)",
+    )
+    parser.add_argument("--off-chip-ns", type=float, default=50.0)
+    args = parser.parse_args()
+
+    template = SystemConfig(l1_bytes=kb(1), off_chip_ns=args.off_chip_ns)
+    configs = design_space(template)
+    print(
+        f"sweeping {len(configs)} configurations on {args.workload} "
+        f"(off-chip {args.off_chip_ns:g} ns)..."
+    )
+    perfs = sweep(args.workload, configs, scale=args.scale)
+
+    envelope = best_envelope(perfs)
+    rows = [
+        (
+            point.label,
+            point.area_rbe,
+            point.tpi_ns,
+            "two-level" if point.performance.config.has_l2 else "single-level",
+        )
+        for point in envelope
+    ]
+    print()
+    print("best-performance envelope (the paper's staircase):")
+    print(render_table(("config", "area_rbe", "tpi_ns", "levels"), rows))
+
+    print()
+    fitting = [p for p in envelope if p.area_rbe <= args.budget]
+    if not fitting:
+        print(f"no configuration fits in {args.budget:,.0f} rbe")
+        return
+    choice = fitting[-1]
+    print(
+        f"within {args.budget:,.0f} rbe the best configuration is "
+        f"{choice.label} ({choice.performance.config.describe()})"
+    )
+    print(
+        f"TPI {choice.tpi_ns:.3f} ns at {choice.area_rbe:,.0f} rbe "
+        f"({args.budget - choice.area_rbe:,.0f} rbe left unused)"
+    )
+
+    # The paper's §3 punchline: using *all* the area can be worse.
+    biggest = max(perfs, key=lambda p: p.area_rbe)
+    if biggest.area_rbe <= args.budget and biggest.tpi_ns > choice.tpi_ns:
+        print(
+            f"note: simply building the largest caches ({biggest.label}) "
+            f"would be {biggest.tpi_ns / choice.tpi_ns - 1:.1%} slower — "
+            "leaving silicon unused beats growing the L1."
+        )
+    print()
+    print(
+        f"best TPI within budget (envelope lookup): "
+        f"{envelope_tpi_at(envelope, args.budget):.3f} ns"
+    )
+
+
+if __name__ == "__main__":
+    main()

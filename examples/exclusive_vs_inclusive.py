@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Exclusive vs conventional two-level caching (the paper's §8).
+
+Run:
+    python examples/exclusive_vs_inclusive.py [--workload gcc1]
+
+Part 1 replays the paper's Figure 21 thought experiment on a toy
+4-line L1 / 16-line L2 hierarchy.  Part 2 quantifies the policy gap on
+a real workload across L2 sizes and associativities: exclusion behaves
+like extra associativity *and* extra capacity, and the gap is largest
+exactly where the paper says — when the L2 is not much bigger than the
+L1s.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import Policy, SystemConfig, evaluate, kb
+from repro.cache.hierarchy import simulate_hierarchy
+from repro.study.experiments.exclusion_demo import (
+    LINE_A,
+    LINE_B,
+    LINE_E,
+    alternating_trace,
+)
+from repro.study.report import render_table
+
+
+def figure21_demo() -> None:
+    print("Part 1: the paper's Figure 21 on a 4-line L1 / 16-line L2")
+    rows = []
+    for label, first, second in (
+        ("(a) A,E collide in L2", LINE_A, LINE_E),
+        ("(b) A,B collide in L1 only", LINE_A, LINE_B),
+    ):
+        trace = alternating_trace(first, second)
+        for policy in Policy:
+            stats = simulate_hierarchy(
+                trace, 64, 256, 1, policy, warmup_fraction=0.5
+            )
+            rows.append(
+                (label, policy.value, stats.l2_hits, stats.l2_misses)
+            )
+    print(render_table(("scenario", "policy", "l2_hits", "off_chip"), rows))
+    print(
+        "-> exclusion turns the L2-conflict thrash (a) into on-chip swaps;\n"
+        "   with an L1-only conflict (b) both policies already keep both lines.\n"
+    )
+
+
+def workload_comparison(workload: str, scale: float) -> None:
+    print(f"Part 2: policy gap on {workload} (8KB L1s, 50ns off-chip)")
+    rows = []
+    for l2_kb in (16, 32, 64, 128, 256):
+        for assoc in (1, 4):
+            tpis = {}
+            for policy in Policy:
+                config = SystemConfig(
+                    l1_bytes=kb(8),
+                    l2_bytes=kb(l2_kb),
+                    l2_associativity=assoc,
+                    policy=policy,
+                )
+                tpis[policy] = evaluate(config, workload, scale=scale)
+            conv = tpis[Policy.CONVENTIONAL]
+            excl = tpis[Policy.EXCLUSIVE]
+            rows.append(
+                (
+                    f"8:{l2_kb}",
+                    "DM" if assoc == 1 else f"{assoc}-way",
+                    conv.tpi_ns,
+                    excl.tpi_ns,
+                    (conv.tpi_ns / excl.tpi_ns - 1.0) * 100.0,
+                    conv.stats.l2_local_miss_rate,
+                    excl.stats.l2_local_miss_rate,
+                )
+            )
+    print(
+        render_table(
+            (
+                "config",
+                "L2 assoc",
+                "conv_tpi_ns",
+                "excl_tpi_ns",
+                "speedup_%",
+                "conv_l2_mr",
+                "excl_l2_mr",
+            ),
+            rows,
+        )
+    )
+    print(
+        "-> the gap shrinks as the L2 grows (duplication matters less) and\n"
+        "   exclusive-DM approaches conventional-4-way, as in Figures 22/5."
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="gcc1")
+    parser.add_argument("--scale", type=float, default=0.2)
+    args = parser.parse_args()
+    figure21_demo()
+    workload_comparison(args.workload, args.scale)
+
+
+if __name__ == "__main__":
+    main()

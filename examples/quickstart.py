@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate one two-level cache system on one workload.
+
+Run:
+    python examples/quickstart.py [--workload gcc1] [--scale 0.2]
+
+This walks the whole pipeline once: generate a synthetic trace, filter
+it through split direct-mapped L1 caches, replay the misses through a
+4-way second level, resolve cycle times with the analytical timing
+model, charge chip area with the rbe model, and combine everything into
+the paper's figure of merit — time per instruction (TPI).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import Policy, SystemConfig, evaluate, kb
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="gcc1", help="benchmark name")
+    parser.add_argument(
+        "--scale", type=float, default=0.2, help="trace scale (1.0 = 1M instructions)"
+    )
+    args = parser.parse_args()
+
+    config = SystemConfig(
+        l1_bytes=kb(8),
+        l2_bytes=kb(64),
+        l2_associativity=4,
+        policy=Policy.EXCLUSIVE,
+        off_chip_ns=50.0,
+    )
+    print(f"system: {config.describe()}")
+    print(f"workload: {args.workload} (scale {args.scale})")
+    print()
+
+    perf = evaluate(config, args.workload, scale=args.scale)
+    stats, timings = perf.stats, perf.tpi.timings
+
+    print("-- simulation --")
+    print(f"counted instructions : {stats.n_instructions:,}")
+    print(f"counted data refs    : {stats.n_data_refs:,}")
+    print(f"L1 miss rate         : {stats.l1_miss_rate:.4f}")
+    print(f"L2 local miss rate   : {stats.l2_local_miss_rate:.4f}")
+    print(f"global miss rate     : {stats.global_miss_rate:.4f}")
+    print()
+    print("-- timing model --")
+    print(f"L1 cycle time        : {timings.l1_cycle_ns:.2f} ns (sets the clock)")
+    print(f"L2 cycle (raw)       : {timings.l2_raw_cycle_ns:.2f} ns")
+    print(f"L2 cycle (quantised) : {timings.l2_cycle_ns:.2f} ns = {timings.l2_cycles} cycles")
+    print(f"L2 hit penalty       : {timings.l2_hit_penalty_ns:.2f} ns")
+    print(f"L2 miss penalty      : {timings.l2_miss_penalty_ns:.2f} ns")
+    print()
+    print("-- result --")
+    print(f"chip area            : {perf.area_rbe:,.0f} rbe")
+    print(f"TPI                  : {perf.tpi_ns:.3f} ns/instruction")
+    print(f"CPI at this clock    : {perf.tpi.cpi:.3f}")
+    print(f"memory stall share   : {perf.tpi.memory_fraction:.1%}")
+
+    # Compare against the single-level machine of the same L1 size.
+    single = evaluate(config.single_level(), args.workload, scale=args.scale)
+    print()
+    print(
+        f"single-level {single.label}: TPI {single.tpi_ns:.3f} ns at "
+        f"{single.area_rbe:,.0f} rbe"
+    )
+    speedup = single.tpi_ns / perf.tpi_ns
+    print(f"two-level exclusive speedup over it: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

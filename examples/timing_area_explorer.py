@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Explore the analytical timing and area models on their own.
+
+Run:
+    python examples/timing_area_explorer.py [--size-kb 32] [--assoc 4]
+
+Shows, for one cache geometry:
+* the optimiser's chosen array organisation (Ndwl/Ndbl/Nspd and the tag
+  array's triple) and the per-stage delay breakdown;
+* how access/cycle time and area trade against each other across *all*
+  feasible organisations (the fastest layout is never the smallest);
+* the full size sweep the paper's Figure 1 plots.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.area.model import cache_area, optimal_cache_area
+from repro.cache.geometry import CacheGeometry
+from repro.timing.model import access_and_cycle_time
+from repro.timing.optimal import optimal_timing
+from repro.timing.organization import enumerate_organizations
+from repro.timing.technology import TECH_05UM
+from repro.study.report import render_table
+from repro.units import fmt_size, kb
+
+
+def breakdown_report(size_bytes: int, assoc: int) -> None:
+    result = optimal_timing(size_bytes, assoc)
+    org = result.organization
+    print(
+        f"fastest organisation for {fmt_size(size_bytes)} "
+        f"{'DM' if assoc == 1 else f'{assoc}-way'}: "
+        f"data Ndwl/Ndbl/Nspd = {org.ndwl}/{org.ndbl}/{org.nspd}, "
+        f"tag = {org.ntwl}/{org.ntbl}/{org.ntspd}"
+    )
+    print(
+        f"access {result.access_ns:.2f} ns, cycle {result.cycle_ns:.2f} ns "
+        f"(data side {result.data_side_ns:.2f}, tag side {result.tag_side_ns:.2f})"
+    )
+    rows = sorted(result.breakdown.items(), key=lambda kv: -kv[1])
+    print(render_table(("stage", "delay_ns"), rows))
+    print()
+
+
+def organisation_tradeoff(size_bytes: int, assoc: int, top: int = 10) -> None:
+    geometry = CacheGeometry(size_bytes, associativity=assoc)
+    candidates = []
+    for org in enumerate_organizations(geometry):
+        timing = access_and_cycle_time(geometry, org, TECH_05UM)
+        area = cache_area(geometry, org)
+        candidates.append((timing.cycle_ns, area.total, org))
+    candidates.sort(key=lambda c: c[0])
+    print(f"fastest {top} organisations (of {len(candidates)}) and their area cost:")
+    rows = [
+        (
+            f"{org.ndwl}/{org.ndbl}/{org.nspd}",
+            f"{org.ntwl}/{org.ntbl}/{org.ntspd}",
+            cycle,
+            area,
+        )
+        for cycle, area, org in candidates[:top]
+    ]
+    print(render_table(("data org", "tag org", "cycle_ns", "area_rbe"), rows))
+    slowest_small = min(candidates, key=lambda c: c[1])
+    print(
+        f"-> smallest layout would be {slowest_small[1]:,.0f} rbe but "
+        f"{slowest_small[0]:.2f} ns; speed costs area (Sec 2.4).\n"
+    )
+
+
+def figure1_sweep() -> None:
+    print("Figure 1 sweep (0.5um): size vs timing vs area")
+    rows = []
+    for size_kb in (1, 2, 4, 8, 16, 32, 64, 128, 256):
+        size = kb(size_kb)
+        timing = optimal_timing(size)
+        area = optimal_cache_area(size)
+        rows.append(
+            (
+                fmt_size(size),
+                timing.access_ns,
+                timing.cycle_ns,
+                area.total,
+                f"{area.cell_fraction:.0%}",
+            )
+        )
+    print(
+        render_table(
+            ("size", "access_ns", "cycle_ns", "area_rbe", "cell fraction"), rows
+        )
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size-kb", type=int, default=32)
+    parser.add_argument("--assoc", type=int, default=4, choices=(1, 2, 4, 8))
+    args = parser.parse_args()
+    breakdown_report(kb(args.size_kb), args.assoc)
+    organisation_tradeoff(kb(args.size_kb), args.assoc)
+    figure1_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro — a reproduction of Jouppi & Wilton, *Tradeoffs in Two-Level
+On-Chip Caching* (DEC WRL 93/3, ISCA 1994).
+
+The library combines three models — trace-driven miss rates, an
+analytical SRAM access/cycle-time model, and an rbe area model — into
+the paper's figure of merit: time per instruction (TPI) versus chip
+area, over the full design space of split direct-mapped L1 caches with
+an optional mixed second level, including the paper's contribution,
+**two-level exclusive caching**.
+
+Quickstart
+----------
+>>> from repro import SystemConfig, evaluate, kb
+>>> config = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64))
+>>> perf = evaluate(config, "gcc1", scale=0.05)
+>>> perf.tpi_ns > 0
+True
+
+See ``examples/`` for complete walkthroughs and ``repro.study`` for the
+per-figure experiment registry.
+"""
+
+from .cache import Policy, simulate_hierarchy
+from .cache.geometry import CacheGeometry
+from .core import (
+    SystemConfig,
+    SystemPerformance,
+    best_envelope,
+    compute_tpi,
+    design_space,
+    evaluate,
+    sweep,
+    system_timings,
+)
+from .errors import (
+    ConfigurationError,
+    ExperimentError,
+    GeometryError,
+    ModelError,
+    ReproError,
+    TraceError,
+)
+from .timing import optimal_timing
+from .area import optimal_cache_area
+from .traces import WORKLOADS, Trace, get_trace, workload_names
+from .units import kb
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration & evaluation
+    "SystemConfig",
+    "SystemPerformance",
+    "evaluate",
+    "sweep",
+    "design_space",
+    "best_envelope",
+    "compute_tpi",
+    "system_timings",
+    # substrates
+    "Policy",
+    "CacheGeometry",
+    "simulate_hierarchy",
+    "optimal_timing",
+    "optimal_cache_area",
+    "Trace",
+    "WORKLOADS",
+    "workload_names",
+    "get_trace",
+    # helpers
+    "kb",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "GeometryError",
+    "ModelError",
+    "TraceError",
+    "ExperimentError",
+]

@@ -1,0 +1,33 @@
+"""Register-bit-equivalent (rbe) cache area model after Mulder et al.
+
+Mulder, Quach and Flynn defined the *register-bit equivalent*: the area
+of a one-bit register cell, a technology-independent unit.  A 6T SRAM
+cell is 0.6 rbe; peripheral structures (sense amplifiers, drivers,
+decoders, comparators, control) are charged per column / per row / per
+subarray, so splitting an array into more subarrays for speed — as the
+timing optimiser does — costs area, exactly the coupling the paper
+highlights in §2.4.
+
+Public API
+----------
+:func:`~repro.area.model.cache_area`
+    Area breakdown for a geometry + organisation + port count.
+:func:`~repro.area.model.optimal_cache_area`
+    Area of the timing-optimal organisation (what the paper plots).
+"""
+
+from .model import AreaBreakdown, cache_area, optimal_cache_area
+from .rbe import (
+    RBE_PER_COMPARATOR,
+    RBE_PER_REGISTER_BIT,
+    RBE_PER_SRAM_BIT,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "cache_area",
+    "optimal_cache_area",
+    "RBE_PER_SRAM_BIT",
+    "RBE_PER_REGISTER_BIT",
+    "RBE_PER_COMPARATOR",
+]

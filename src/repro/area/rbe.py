@@ -1,0 +1,58 @@
+"""Unit constants of the Mulder/Quach/Flynn area model.
+
+All values are in register-bit equivalents (rbe).  The two the paper
+states explicitly are the 6T SRAM cell (0.6 rbe) and the comparator
+(6 × 0.6 rbe); the per-row / per-column / per-subarray periphery
+weights are representative values in the spirit of Mulder's model,
+chosen so small memories show the pronounced per-bit overhead the paper
+describes while large memories approach the cell-area floor.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RBE_PER_REGISTER_BIT",
+    "RBE_PER_SRAM_BIT",
+    "RBE_PER_COMPARATOR",
+    "RBE_SENSE_AMP_PER_COLUMN",
+    "RBE_PRECHARGE_PER_COLUMN",
+    "RBE_COLUMN_MUX_PER_COLUMN",
+    "RBE_WORDLINE_DRIVER_PER_ROW",
+    "RBE_DECODER_PER_ROW",
+    "RBE_DECODER_FIXED_PER_SUBARRAY",
+    "RBE_CONTROL_FIXED",
+    "RBE_OUTPUT_DRIVER_PER_BIT",
+]
+
+#: The defining unit: one bit of a register file cell.
+RBE_PER_REGISTER_BIT = 1.0
+
+#: A 6-transistor static RAM cell (Mulder's published value).
+RBE_PER_SRAM_BIT = 0.6
+
+#: One tag comparator (the paper: "a comparator only occupies 6x0.6 rbe's").
+RBE_PER_COMPARATOR = 6 * RBE_PER_SRAM_BIT
+
+#: Differential sense amplifier, per bit-line pair (column).
+RBE_SENSE_AMP_PER_COLUMN = 6.0
+
+#: Bit-line precharge/equalise devices, per column.
+RBE_PRECHARGE_PER_COLUMN = 1.5
+
+#: Column multiplexor pass devices, per column.
+RBE_COLUMN_MUX_PER_COLUMN = 1.0
+
+#: Word-line driver, per row of a subarray.
+RBE_WORDLINE_DRIVER_PER_ROW = 2.0
+
+#: Row decode gates, per row of a subarray.
+RBE_DECODER_PER_ROW = 1.0
+
+#: Predecoders and address buffering, per subarray.
+RBE_DECODER_FIXED_PER_SUBARRAY = 60.0
+
+#: Control logic, per cache array (state machine, output enables).
+RBE_CONTROL_FIXED = 250.0
+
+#: Output data drivers, per output bit.
+RBE_OUTPUT_DRIVER_PER_BIT = 2.0

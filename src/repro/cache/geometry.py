@@ -1,0 +1,84 @@
+"""Cache geometry: capacity, line size, associativity, and derived shape.
+
+All the paper's caches use 16-byte lines; capacities are powers of two
+from 1 KB to 256 KB; associativity is 1 (direct-mapped) or 4 for the
+second level.  The geometry object validates these constraints once and
+provides the index/tag arithmetic used by the simulators and the
+timing/area models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+from ..units import fmt_size, is_pow2
+
+__all__ = ["CacheGeometry", "DEFAULT_LINE_SIZE"]
+
+#: The paper uses 16-byte lines throughout.
+DEFAULT_LINE_SIZE = 16
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Shape of a single cache array.
+
+    Attributes
+    ----------
+    size_bytes:
+        Total data capacity in bytes (power of two).
+    line_size:
+        Line (block) size in bytes (power of two).
+    associativity:
+        Ways per set; 1 means direct-mapped.
+    """
+
+    size_bytes: int
+    line_size: int = DEFAULT_LINE_SIZE
+    associativity: int = 1
+
+    def __post_init__(self) -> None:
+        if not is_pow2(self.size_bytes):
+            raise GeometryError(f"cache size {self.size_bytes} not a power of two")
+        if not is_pow2(self.line_size):
+            raise GeometryError(f"line size {self.line_size} not a power of two")
+        if self.associativity < 1:
+            raise GeometryError("associativity must be >= 1")
+        if self.line_size > self.size_bytes:
+            raise GeometryError("line size exceeds cache size")
+        if self.size_bytes % (self.line_size * self.associativity) != 0:
+            raise GeometryError(
+                f"{self.associativity}-way cache of {self.size_bytes} B cannot be "
+                f"divided into whole sets of {self.line_size} B lines"
+            )
+
+    @property
+    def n_lines(self) -> int:
+        """Total number of lines."""
+        return self.size_bytes // self.line_size
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets (rows of the tag comparison)."""
+        return self.n_lines // self.associativity
+
+    @property
+    def is_direct_mapped(self) -> bool:
+        return self.associativity == 1
+
+    @property
+    def is_fully_associative(self) -> bool:
+        return self.n_sets == 1
+
+    def set_index(self, line_addr: int) -> int:
+        """Set index for a line address (line number, not byte address)."""
+        return line_addr % self.n_sets
+
+    def label(self) -> str:
+        """Human-readable label, e.g. ``32K/4-way``."""
+        way = "DM" if self.is_direct_mapped else f"{self.associativity}-way"
+        return f"{fmt_size(self.size_bytes)}/{way}"
+
+    def __str__(self) -> str:
+        return self.label()

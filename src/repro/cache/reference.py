@@ -1,0 +1,152 @@
+"""Slow, obviously-correct reference simulators (test oracles).
+
+These implementations favour clarity over speed and exist solely so the
+test suite can prove the vectorised/decomposed fast path equivalent on
+arbitrary streams.  They must not be used by experiments or benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..traces.address import Trace
+from .directmap import NO_VICTIM
+from .geometry import DEFAULT_LINE_SIZE, CacheGeometry
+from .hierarchy import DEFAULT_WARMUP_FRACTION, Policy
+from .l2 import SetAssociativeCache
+from .results import HierarchyStats
+
+__all__ = [
+    "ReferenceDirectMapped",
+    "reference_direct_mapped_filter",
+    "reference_simulate_hierarchy",
+]
+
+
+@dataclass
+class ReferenceDirectMapped:
+    """Dictionary-based direct-mapped cache."""
+
+    n_sets: int
+    contents: Dict[int, int] = field(default_factory=dict)
+
+    def access(self, line: int) -> Tuple[bool, int]:
+        """Access ``line``; returns (miss, victim-or-NO_VICTIM)."""
+        set_index = line % self.n_sets
+        resident = self.contents.get(set_index)
+        if resident == line:
+            return False, NO_VICTIM
+        self.contents[set_index] = line
+        if resident is None:
+            return True, NO_VICTIM
+        return True, resident
+
+
+def reference_direct_mapped_filter(
+    lines: "list[int]", n_sets: int
+) -> Tuple[List[bool], List[int]]:
+    """Reference counterpart of :func:`repro.cache.directmap.direct_mapped_filter`."""
+    cache = ReferenceDirectMapped(n_sets)
+    misses: List[bool] = []
+    victims: List[int] = []
+    for line in lines:
+        miss, victim = cache.access(int(line))
+        misses.append(miss)
+        victims.append(victim)
+    return misses, victims
+
+
+class _ReferenceHierarchy:
+    """Full stateful split-L1 + optional-L2 model, processed in program order."""
+
+    def __init__(
+        self,
+        l1_bytes: int,
+        l2_bytes: int,
+        l2_associativity: int,
+        policy: Policy,
+        line_size: int,
+    ) -> None:
+        l1_geometry = CacheGeometry(l1_bytes, line_size=line_size, associativity=1)
+        self.icache = ReferenceDirectMapped(l1_geometry.n_sets)
+        self.dcache = ReferenceDirectMapped(l1_geometry.n_sets)
+        self.policy = policy
+        self.l2: Optional[SetAssociativeCache] = None
+        if l2_bytes:
+            self.l2 = SetAssociativeCache(
+                CacheGeometry(l2_bytes, line_size=line_size, associativity=l2_associativity)
+            )
+        self.l1i_misses = 0
+        self.l1d_misses = 0
+        self.l2_hits = 0
+        self.l2_misses = 0
+
+    def reference(self, line: int, is_instruction: bool, counted: bool) -> None:
+        cache = self.icache if is_instruction else self.dcache
+        miss, victim = cache.access(line)
+        if not miss:
+            return
+        if counted:
+            if is_instruction:
+                self.l1i_misses += 1
+            else:
+                self.l1d_misses += 1
+        if self.l2 is None:
+            return
+        if self.policy is Policy.CONVENTIONAL:
+            if self.l2.lookup(line):
+                self.l2_hits += counted
+            else:
+                self.l2_misses += counted
+                self.l2.fill(line)
+        else:
+            if self.l2.lookup(line):
+                self.l2_hits += counted
+                self.l2.invalidate(line)
+            else:
+                self.l2_misses += counted
+            if victim != NO_VICTIM:
+                self.l2.fill(victim)
+
+
+def reference_simulate_hierarchy(
+    trace: Trace,
+    l1_bytes: int,
+    l2_bytes: int = 0,
+    l2_associativity: int = 1,
+    policy: Policy = Policy.CONVENTIONAL,
+    line_size: int = DEFAULT_LINE_SIZE,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+) -> HierarchyStats:
+    """Reference counterpart of :func:`repro.cache.hierarchy.simulate_hierarchy`.
+
+    Processes the trace strictly in program order (instruction fetch
+    before the data access of the same cycle), exactly as the fast
+    path's merge does, so replacement decisions line up and results are
+    bit-identical.
+    """
+    sim = _ReferenceHierarchy(l1_bytes, l2_bytes, l2_associativity, policy, line_size)
+    i_lines = trace.i_lines(line_size).tolist()
+    d_lines = trace.d_lines(line_size).tolist()
+    d_times = trace.d_times.tolist()
+    d_cursor = 0
+    n_data = len(d_lines)
+    warmup_time = int(trace.n_instructions * warmup_fraction)
+    counted_data_refs = 0
+    for cycle, i_line in enumerate(i_lines):
+        counted = cycle >= warmup_time
+        sim.reference(i_line, is_instruction=True, counted=counted)
+        while d_cursor < n_data and d_times[d_cursor] == cycle:
+            sim.reference(d_lines[d_cursor], is_instruction=False, counted=counted)
+            counted_data_refs += counted
+            d_cursor += 1
+    return HierarchyStats(
+        n_instructions=trace.n_instructions - warmup_time,
+        n_data_refs=counted_data_refs,
+        l1i_misses=sim.l1i_misses,
+        l1d_misses=sim.l1d_misses,
+        l2_hits=sim.l2_hits,
+        l2_misses=sim.l2_misses,
+        has_l2=sim.l2 is not None,
+    )

@@ -1,0 +1,77 @@
+"""Replacement policies for the set-associative second-level cache.
+
+The paper evaluates *pseudo-random* replacement, which hardware builds
+from a free-running LFSR; :class:`LfsrReplacement` reproduces that.
+:class:`LruReplacement` is provided as an extension for ablation studies
+(the paper's cited prior work, Przybylski, compares the two) — it is not
+used by any reproduced figure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence
+
+from ..lfsr import Lfsr16
+
+__all__ = ["ReplacementPolicy", "LfsrReplacement", "LruReplacement"]
+
+
+class ReplacementPolicy(Protocol):
+    """Chooses which way of a set to evict and observes accesses."""
+
+    def victim_way(self, set_index: int) -> int:
+        """Way to evict in ``set_index`` when all ways are valid."""
+
+    def touch(self, set_index: int, way: int) -> None:
+        """Record an access (hit or fill) to ``(set_index, way)``."""
+
+
+class LfsrReplacement:
+    """Pseudo-random replacement driven by a 16-bit LFSR.
+
+    One register is shared by all sets, as in the simple hardware
+    implementation: the register free-runs and is sampled whenever a
+    replacement is needed, so the choice is deterministic given the
+    stream of replacements.
+    """
+
+    def __init__(self, associativity: int, seed: int = 0xACE1) -> None:
+        if associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        self._associativity = associativity
+        self._lfsr = Lfsr16(seed)
+
+    def victim_way(self, set_index: int) -> int:
+        return self._lfsr.next_way(self._associativity)
+
+    def touch(self, set_index: int, way: int) -> None:
+        # Random replacement keeps no per-access state.
+        return None
+
+
+class LruReplacement:
+    """True least-recently-used replacement (extension, not in the paper).
+
+    Keeps an explicit recency stack per set; O(associativity) per touch,
+    which is fine for the small associativities studied here.
+    """
+
+    def __init__(self, associativity: int, n_sets: int) -> None:
+        if associativity < 1 or n_sets < 1:
+            raise ValueError("associativity and n_sets must be >= 1")
+        self._stacks: List[List[int]] = [
+            list(range(associativity)) for _ in range(n_sets)
+        ]
+
+    def victim_way(self, set_index: int) -> int:
+        # Least recently used is the last entry of the recency stack.
+        return self._stacks[set_index][-1]
+
+    def touch(self, set_index: int, way: int) -> None:
+        stack = self._stacks[set_index]
+        stack.remove(way)
+        stack.insert(0, way)
+
+    def recency_order(self, set_index: int) -> Sequence[int]:
+        """Most-recent-first way order (exposed for tests)."""
+        return tuple(self._stacks[set_index])

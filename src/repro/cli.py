@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    All registered experiments with their paper references.
+``run <id> [--scale S]``
+    Recompute one exhibit and print its series.
+``plot <id> [--scale S]``
+    Recompute one exhibit and draw it as an ASCII log-log figure.
+``eval --l1-kb N [--l2-kb M] [...]``
+    Evaluate a single configuration on a workload.
+``envelope --workload W [...]``
+    Sweep the paper design space and print the best-performance
+    staircase.
+``workloads``
+    The seven workload models and their footprints.
+``report --out DIR [--ids id1,id2] [--scale S]``
+    Regenerate experiments into a directory of JSON + text artefacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .cache.hierarchy import Policy
+from .core.config import SystemConfig
+from .core.envelope import best_envelope
+from .core.evaluate import evaluate
+from .core.explorer import design_space, sweep
+from .study import experiment_ids, get_experiment
+from .study.plot import plot_experiment
+from .study.report import render_table
+from .study.resultstore import write_report
+from .traces.stats import compute_stats
+from .traces.store import get_trace
+from .traces.workloads import WORKLOADS
+from .units import kb
+
+__all__ = ["main"]
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [
+        (eid, get_experiment(eid).paper_reference, get_experiment(eid).title)
+        for eid in experiment_ids()
+    ]
+    print(render_table(("id", "paper", "title"), rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    experiment = get_experiment(args.experiment_id)
+    result = experiment.run(scale=args.scale)
+    print(result.render())
+    return 0
+
+
+def _cmd_plot(args: argparse.Namespace) -> int:
+    experiment = get_experiment(args.experiment_id)
+    result = experiment.run(scale=args.scale)
+    print(plot_experiment(result, width=args.width, height=args.height))
+    return 0
+
+
+def _config_from(args: argparse.Namespace) -> SystemConfig:
+    config = SystemConfig(
+        l1_bytes=kb(args.l1_kb),
+        l2_bytes=kb(args.l2_kb) if args.l2_kb else 0,
+        l2_associativity=args.l2_assoc,
+        policy=Policy.EXCLUSIVE if args.exclusive else Policy.CONVENTIONAL,
+        off_chip_ns=args.off_chip_ns,
+    )
+    if args.dual_ported:
+        config = config.dual_ported()
+    return config
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    perf = evaluate(config, args.workload, scale=args.scale)
+    print(f"{config.describe()} on {args.workload}")
+    rows = [
+        ("TPI (ns/instr)", perf.tpi_ns),
+        ("area (rbe)", perf.area_rbe),
+        ("L1 cycle (ns)", perf.tpi.timings.l1_cycle_ns),
+        ("L1 miss rate", perf.stats.l1_miss_rate),
+        ("L2 local miss rate", perf.stats.l2_local_miss_rate),
+        ("global miss rate", perf.stats.global_miss_rate),
+        ("memory stall share", perf.tpi.memory_fraction),
+    ]
+    print(render_table(("metric", "value"), rows))
+    return 0
+
+
+def _cmd_envelope(args: argparse.Namespace) -> int:
+    template = _config_from(args)
+    perfs = sweep(args.workload, design_space(template), scale=args.scale)
+    envelope = best_envelope(perfs)
+    rows = [
+        (
+            p.label,
+            p.area_rbe,
+            p.tpi_ns,
+            "2-level" if p.performance.config.has_l2 else "1-level",
+        )
+        for p in envelope
+    ]
+    print(render_table(("config", "area_rbe", "tpi_ns", "levels"), rows))
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    rows = []
+    for name, spec in WORKLOADS.items():
+        trace = get_trace(name, args.scale)
+        stats = compute_stats(trace)
+        rows.append(
+            (
+                name,
+                spec.paper_total_refs,
+                stats.n_refs,
+                f"{stats.data_ratio:.3f}",
+                stats.instruction_footprint_bytes // 1024,
+                stats.data_footprint_bytes // 1024,
+                spec.description,
+            )
+        )
+    print(
+        render_table(
+            (
+                "workload",
+                "paper_Mrefs",
+                "synth_refs",
+                "data_ratio",
+                "code_KB",
+                "data_KB",
+                "description",
+            ),
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    ids = args.ids.split(",") if args.ids else None
+    written = write_report(args.out, ids=ids, scale=args.scale)
+    print(f"wrote {len(written)} experiments to {args.out}")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Tradeoffs in Two-Level On-Chip Caching'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiments").set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment_id", help="e.g. fig5, table1")
+    run.add_argument("--scale", type=float, default=None, help="trace scale")
+    run.set_defaults(func=_cmd_run)
+
+    plot = sub.add_parser("plot", help="draw one experiment as ASCII log-log")
+    plot.add_argument("experiment_id", help="a TPI-vs-area figure, e.g. fig5")
+    plot.add_argument("--scale", type=float, default=None, help="trace scale")
+    plot.add_argument("--width", type=int, default=72)
+    plot.add_argument("--height", type=int, default=22)
+    plot.set_defaults(func=_cmd_plot)
+
+    def add_config_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", default="gcc1")
+        p.add_argument("--scale", type=float, default=None)
+        p.add_argument("--l1-kb", type=int, default=8)
+        p.add_argument("--l2-kb", type=int, default=0)
+        p.add_argument("--l2-assoc", type=int, default=4)
+        p.add_argument("--exclusive", action="store_true")
+        p.add_argument("--dual-ported", action="store_true")
+        p.add_argument("--off-chip-ns", type=float, default=50.0)
+
+    ev = sub.add_parser("eval", help="evaluate one configuration")
+    add_config_args(ev)
+    ev.set_defaults(func=_cmd_eval)
+
+    env = sub.add_parser("envelope", help="best-performance envelope")
+    add_config_args(env)
+    env.set_defaults(func=_cmd_envelope)
+
+    wl = sub.add_parser("workloads", help="describe the workload models")
+    wl.add_argument("--scale", type=float, default=0.1)
+    wl.set_defaults(func=_cmd_workloads)
+
+    report = sub.add_parser(
+        "report", help="regenerate experiments into a results directory"
+    )
+    report.add_argument("--out", required=True, help="output directory")
+    report.add_argument(
+        "--ids", default="", help="comma-separated experiment ids (default: all)"
+    )
+    report.add_argument("--scale", type=float, default=None)
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; exiting quietly is correct.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

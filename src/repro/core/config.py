@@ -1,0 +1,107 @@
+"""System configuration: one point in the paper's design space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..cache.geometry import DEFAULT_LINE_SIZE, CacheGeometry
+from ..cache.hierarchy import Policy
+from ..errors import ConfigurationError
+from ..timing.technology import TECH_05UM, Technology
+from ..units import fmt_size
+
+__all__ = ["SystemConfig"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A complete on-chip memory system configuration.
+
+    Attributes
+    ----------
+    l1_bytes:
+        Capacity of *each* split first-level cache (instruction and
+        data caches are equal-sized and direct-mapped, per the paper).
+    l2_bytes:
+        Capacity of the mixed second-level cache; 0 = single-level.
+    l2_associativity:
+        L2 ways (1 or 4 in the paper's studies).
+    policy:
+        Conventional or exclusive two-level content management.
+    off_chip_ns:
+        Off-chip miss service time (50 ns with a board cache, 200 ns
+        without).
+    l1_ports:
+        RAM ports per L1 cell; 2 models §6's dual-ported cells at twice
+        the cell area.
+    issue_width:
+        Instructions issued per L1 cycle; the paper pairs dual-ported
+        L1s with a doubled issue rate.
+    line_size:
+        Line size in bytes (16 throughout the paper).
+    tech:
+        Technology point for the timing/area models.
+    """
+
+    l1_bytes: int
+    l2_bytes: int = 0
+    l2_associativity: int = 4
+    policy: Policy = Policy.CONVENTIONAL
+    off_chip_ns: float = 50.0
+    l1_ports: int = 1
+    issue_width: int = 1
+    line_size: int = DEFAULT_LINE_SIZE
+    tech: Technology = TECH_05UM
+
+    def __post_init__(self) -> None:
+        # Geometry construction validates sizes/associativity.
+        CacheGeometry(self.l1_bytes, line_size=self.line_size, associativity=1)
+        if self.l2_bytes:
+            CacheGeometry(
+                self.l2_bytes,
+                line_size=self.line_size,
+                associativity=self.l2_associativity,
+            )
+        if self.off_chip_ns <= 0:
+            raise ConfigurationError("off_chip_ns must be positive")
+        if self.l1_ports < 1:
+            raise ConfigurationError("l1_ports must be >= 1")
+        if self.issue_width < 1:
+            raise ConfigurationError("issue_width must be >= 1")
+        # Note: ``policy`` is ignored when there is no second level, so
+        # an exclusive template with l2_bytes=0 is a valid single-level
+        # configuration (this lets one template span a whole sweep).
+
+    @property
+    def has_l2(self) -> bool:
+        return self.l2_bytes > 0
+
+    @property
+    def label(self) -> str:
+        """The paper's point label, e.g. ``"32:256"`` (sizes in KB)."""
+        l1 = self.l1_bytes // 1024 if self.l1_bytes >= 1024 else self.l1_bytes
+        l2 = self.l2_bytes // 1024 if self.l2_bytes >= 1024 else self.l2_bytes
+        return f"{l1}:{l2}"
+
+    def describe(self) -> str:
+        """Long human-readable description."""
+        parts = [f"L1 2x{fmt_size(self.l1_bytes)} DM"]
+        if self.has_l2:
+            assoc = (
+                "DM"
+                if self.l2_associativity == 1
+                else f"{self.l2_associativity}-way"
+            )
+            parts.append(f"L2 {fmt_size(self.l2_bytes)} {assoc} {self.policy.value}")
+        if self.l1_ports > 1:
+            parts.append(f"{self.l1_ports}-port L1")
+        parts.append(f"off-chip {self.off_chip_ns:g}ns")
+        return ", ".join(parts)
+
+    def single_level(self) -> "SystemConfig":
+        """This configuration with the second level removed."""
+        return replace(self, l2_bytes=0, policy=Policy.CONVENTIONAL)
+
+    def dual_ported(self) -> "SystemConfig":
+        """§6's variant: dual-ported L1 cells and doubled issue rate."""
+        return replace(self, l1_ports=2, issue_width=2)

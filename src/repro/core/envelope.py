@@ -1,0 +1,71 @@
+"""Best-performance envelopes (the paper's staircase lines).
+
+Every figure in the paper draws, over a cloud of (area, TPI) points,
+the *best performance envelope*: for each available chip area, the
+lowest TPI achievable by any configuration fitting in that area.  The
+envelope is the lower-left Pareto staircase of the point cloud.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from .evaluate import SystemPerformance
+
+__all__ = ["EnvelopePoint", "best_envelope", "envelope_tpi_at"]
+
+
+@dataclass(frozen=True)
+class EnvelopePoint:
+    """One corner of the best-performance staircase."""
+
+    area_rbe: float
+    tpi_ns: float
+    performance: SystemPerformance
+
+    @property
+    def label(self) -> str:
+        return self.performance.label
+
+
+def best_envelope(points: Iterable[SystemPerformance]) -> List[EnvelopePoint]:
+    """The Pareto staircase: configs not dominated in (area, TPI).
+
+    A configuration is on the envelope iff no other configuration has
+    both no more area and strictly lower TPI (ties in TPI keep the
+    smaller-area config only).
+
+    Returns the corners sorted by increasing area (hence strictly
+    decreasing TPI).
+    """
+    ordered = sorted(points, key=lambda p: (p.area_rbe, p.tpi_ns))
+    envelope: List[EnvelopePoint] = []
+    best_tpi = math.inf
+    for perf in ordered:
+        if perf.tpi_ns < best_tpi - 1e-12:
+            envelope.append(
+                EnvelopePoint(
+                    area_rbe=perf.area_rbe, tpi_ns=perf.tpi_ns, performance=perf
+                )
+            )
+            best_tpi = perf.tpi_ns
+    return envelope
+
+
+def envelope_tpi_at(
+    envelope: Sequence[EnvelopePoint], area_budget_rbe: float
+) -> float:
+    """Best TPI achievable within ``area_budget_rbe``.
+
+    Returns ``math.inf`` when even the smallest configuration does not
+    fit — the paper's staircases simply do not extend that far left.
+    """
+    best = math.inf
+    for point in envelope:
+        if point.area_rbe <= area_budget_rbe:
+            best = point.tpi_ns
+        else:
+            break
+    return best

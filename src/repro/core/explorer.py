@@ -1,0 +1,99 @@
+"""Design-space enumeration and sweeping.
+
+The paper's design space (§2.1): split direct-mapped L1 caches of equal
+size from 1 KB to 256 KB, and an optional mixed L2 from 2 KB to 256 KB.
+Following the configurations the paper actually plots, a two-level
+point requires the L2 to be at least twice one L1 (otherwise the L2 is
+smaller than the data it is meant to back and the paper notes the
+configuration degenerates toward a victim cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence, Union
+
+from ..cache.hierarchy import Policy
+from ..traces.address import Trace
+from ..units import kb
+from .config import SystemConfig
+from .evaluate import SystemPerformance, evaluate
+
+__all__ = ["standard_l1_sizes", "standard_l2_sizes", "design_space", "sweep"]
+
+_MIN_KB = 1
+_MAX_KB = 256
+
+
+def standard_l1_sizes() -> List[int]:
+    """Paper L1 sizes: 1 KB … 256 KB (bytes, per cache)."""
+    sizes = []
+    size = _MIN_KB
+    while size <= _MAX_KB:
+        sizes.append(kb(size))
+        size *= 2
+    return sizes
+
+
+def standard_l2_sizes(l1_bytes: int) -> List[int]:
+    """Paper L2 sizes valid for ``l1_bytes`` L1s: 0 plus 2·L1 … 256 KB."""
+    sizes = [0]
+    size = 2 * l1_bytes
+    while size <= kb(_MAX_KB):
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+def design_space(
+    base: Optional[SystemConfig] = None,
+    l1_sizes: Optional[Sequence[int]] = None,
+    l2_sizes: Optional[Sequence[int]] = None,
+    include_single_level: bool = True,
+) -> List[SystemConfig]:
+    """Enumerate the paper's design space as :class:`SystemConfig` points.
+
+    Parameters
+    ----------
+    base:
+        Template carrying everything except the sizes (policy,
+        associativity, off-chip time, ports…).  Defaults to the
+        baseline §4 system (4-way conventional L2, 50 ns off-chip).
+    l1_sizes / l2_sizes:
+        Explicit size lists (bytes); defaults follow the paper.  When
+        ``l2_sizes`` is given it is filtered per L1 to keep L2 ≥ 2·L1.
+    include_single_level:
+        Include the ``l1:0`` configurations.
+    """
+    if base is None:
+        base = SystemConfig(l1_bytes=kb(1))
+    configs: List[SystemConfig] = []
+    for l1 in l1_sizes if l1_sizes is not None else standard_l1_sizes():
+        if l2_sizes is not None:
+            candidates = [s for s in l2_sizes if s == 0 or s >= 2 * l1]
+        else:
+            candidates = standard_l2_sizes(l1)
+        for l2 in candidates:
+            if l2 == 0:
+                if not include_single_level:
+                    continue
+                configs.append(
+                    replace(base, l1_bytes=l1, l2_bytes=0, policy=Policy.CONVENTIONAL)
+                )
+            else:
+                configs.append(replace(base, l1_bytes=l1, l2_bytes=l2))
+    return configs
+
+
+def sweep(
+    workload: Union[str, Trace],
+    configs: Sequence[SystemConfig],
+    scale: Optional[float] = None,
+) -> List[SystemPerformance]:
+    """Evaluate every configuration on one workload.
+
+    Simulation results and trace generation are memoised, so sweeping
+    multiple related spaces (e.g. 50 ns then 200 ns off-chip) only pays
+    for the distinct cache shapes once.
+    """
+    return [evaluate(config, workload, scale=scale) for config in configs]

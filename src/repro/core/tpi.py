@@ -1,0 +1,167 @@
+"""The paper's §2.5 execution-time model (time per instruction).
+
+The processor issues ``issue_width`` instructions per L1 cycle when no
+miss is outstanding (CPI = 1 per issue slot), and the machine cycle time
+*is* the L1 cache cycle time.  A line moves as 8-byte transfers, so a
+``line_size``-byte line takes ``k = line_size/8`` of them (the paper's
+16-byte lines give k = 2).  Penalties:
+
+* L1 miss, L2 hit: one L2 cycle to probe and move the first 8 bytes,
+  k-1 more L2 cycles for the rest, and one L1 cycle for the final
+  (non-overlapped) L1 write — ``k·T_L2 + T_L1`` (= ``2·T_L2 + T_L1``
+  in the paper).
+* L2 miss: one L2 cycle to probe, the off-chip service time, k L2
+  cycles to write the refill through, and the final L1 write —
+  ``T_offchip + (k+1)·T_L2 + T_L1`` (the paper's ``+3·T_L2``).
+* Single-level miss: the same shape with the L2 probe terms removed —
+  ``T_offchip + T_L1`` (documented assumption; see DESIGN.md §6).
+
+Both the L2 cycle time and the off-chip time are rounded **up** to the
+next multiple of the L1 cycle (a synchronous pipeline cannot use a
+fractional cycle), which is why Figure 2's L2 latencies are stepped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cache.results import HierarchyStats
+from ..errors import ConfigurationError
+from ..timing.optimal import optimal_timing
+from ..units import round_up_to_multiple
+from .config import SystemConfig
+
+__all__ = ["SystemTimings", "TpiBreakdown", "system_timings", "compute_tpi"]
+
+
+@dataclass(frozen=True)
+class SystemTimings:
+    """Resolved cycle times (ns) for one configuration."""
+
+    l1_cycle_ns: float
+    l1_access_ns: float
+    l2_raw_cycle_ns: float
+    l2_cycle_ns: float
+    l2_raw_access_ns: float
+    off_chip_ns: float
+    #: 8-byte transfers per line (2 for the paper's 16-byte lines).
+    transfers_per_line: int = 2
+
+    @property
+    def l2_cycles(self) -> int:
+        """L2 cycle time in (whole) processor cycles."""
+        if self.l2_cycle_ns == 0.0:
+            return 0
+        return int(round(self.l2_cycle_ns / self.l1_cycle_ns))
+
+    @property
+    def l2_hit_penalty_ns(self) -> float:
+        """L1-miss/L2-hit penalty: k·T_L2 + T_L1."""
+        return self.transfers_per_line * self.l2_cycle_ns + self.l1_cycle_ns
+
+    @property
+    def l2_miss_penalty_ns(self) -> float:
+        """L2-miss penalty: T_offchip + (k+1)·T_L2 + T_L1."""
+        return (
+            self.off_chip_ns
+            + (self.transfers_per_line + 1) * self.l2_cycle_ns
+            + self.l1_cycle_ns
+        )
+
+    @property
+    def single_level_miss_penalty_ns(self) -> float:
+        """Single-level miss penalty: T_offchip + T_L1."""
+        return self.off_chip_ns + self.l1_cycle_ns
+
+
+def system_timings(config: SystemConfig) -> SystemTimings:
+    """Resolve all cycle times for ``config`` via the timing model."""
+    l1 = optimal_timing(
+        config.l1_bytes, 1, line_size=config.line_size, tech=config.tech
+    )
+    l1_cycle = l1.cycle_ns
+    if config.has_l2:
+        l2 = optimal_timing(
+            config.l2_bytes,
+            config.l2_associativity,
+            line_size=config.line_size,
+            tech=config.tech,
+        )
+        l2_raw_cycle = l2.cycle_ns
+        l2_raw_access = l2.access_ns
+        l2_cycle = round_up_to_multiple(l2_raw_cycle, l1_cycle)
+    else:
+        l2_raw_cycle = l2_raw_access = l2_cycle = 0.0
+    off_chip = round_up_to_multiple(config.off_chip_ns, l1_cycle)
+    return SystemTimings(
+        l1_cycle_ns=l1_cycle,
+        l1_access_ns=l1.access_ns,
+        l2_raw_cycle_ns=l2_raw_cycle,
+        l2_cycle_ns=l2_cycle,
+        l2_raw_access_ns=l2_raw_access,
+        off_chip_ns=off_chip,
+        transfers_per_line=max(1, config.line_size // 8),
+    )
+
+
+@dataclass(frozen=True)
+class TpiBreakdown:
+    """Execution-time decomposition for one (config, workload) pair."""
+
+    timings: SystemTimings
+    base_ns: float
+    l2_hit_ns: float
+    off_chip_ns: float
+    n_instructions: int
+
+    @property
+    def total_ns(self) -> float:
+        """Total execution time."""
+        return self.base_ns + self.l2_hit_ns + self.off_chip_ns
+
+    @property
+    def tpi_ns(self) -> float:
+        """Time per instruction — the paper's figure of merit."""
+        return self.total_ns / self.n_instructions
+
+    @property
+    def cpi(self) -> float:
+        """Clocks per instruction at the L1-determined clock."""
+        return self.tpi_ns / self.timings.l1_cycle_ns
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of execution time spent servicing cache misses."""
+        if self.total_ns == 0.0:
+            return 0.0
+        return (self.l2_hit_ns + self.off_chip_ns) / self.total_ns
+
+
+def compute_tpi(config: SystemConfig, stats: HierarchyStats) -> TpiBreakdown:
+    """Apply the §2.5 equations to simulation results.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``stats`` came from a different hierarchy shape than
+        ``config`` describes (L2 present vs absent).
+    """
+    if stats.has_l2 != config.has_l2:
+        raise ConfigurationError(
+            "stats and config disagree about the presence of a second level"
+        )
+    timings = system_timings(config)
+    base = stats.n_instructions * timings.l1_cycle_ns / config.issue_width
+    if config.has_l2:
+        l2_hit_time = stats.l2_hits * timings.l2_hit_penalty_ns
+        off_chip_time = stats.l2_misses * timings.l2_miss_penalty_ns
+    else:
+        l2_hit_time = 0.0
+        off_chip_time = stats.l1_misses * timings.single_level_miss_penalty_ns
+    return TpiBreakdown(
+        timings=timings,
+        base_ns=base,
+        l2_hit_ns=l2_hit_time,
+        off_chip_ns=off_chip_time,
+        n_instructions=stats.n_instructions,
+    )

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "GeometryError",
+    "ModelError",
+    "TraceError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A system or cache configuration is internally inconsistent.
+
+    Examples: a cache size that is not a power of two, an associativity
+    larger than the number of lines, or a two-level system whose L2 is
+    smaller than a single L1 when the policy requires otherwise.
+    """
+
+
+class GeometryError(ConfigurationError):
+    """A cache geometry (size, line size, associativity) is invalid."""
+
+
+class ModelError(ReproError):
+    """An analytical model (timing or area) was given unusable inputs."""
+
+
+class TraceError(ReproError):
+    """A trace or workload definition is malformed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or an experiment was misconfigured."""

@@ -1,0 +1,115 @@
+"""Banked vs dual-ported first-level caches (§6's opening remark).
+
+§6: "A banked cache can also be used to support more than one load or
+store per cycle; since banking requires more inputs and outputs to the
+cache it also increases the area required for the cache (the tradeoffs
+between banking and dual porting have been studied in [8])."
+
+Model (after Sohi & Franklin [8]):
+
+* a ``n_banks``-way interleaved cache costs less area than true dual
+  porting (``bank_area_factor`` ≈ 1.3× vs 2.0× for two ports) but two
+  simultaneous accesses conflict when they fall in the same bank, which
+  happens with probability ``1/n_banks`` for independent accesses;
+* a bank conflict serialises the pair, so the effective issue width is
+  ``2 / (1 + p_conflict)`` instead of the dual-ported machine's 2.
+
+The comparison point is the one the paper cares about: performance per
+unit *area*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from ..area.model import optimal_cache_area
+from ..cache.hierarchy import Policy
+from ..core.config import SystemConfig
+from ..core.evaluate import _cached_stats, system_area_rbe
+from ..core.tpi import system_timings
+from ..errors import ConfigurationError
+from ..traces.address import Trace
+from ..traces.store import get_trace
+from ..units import is_pow2
+
+__all__ = ["BankedResult", "evaluate_banked"]
+
+#: Area of a banked array relative to a single-ported one: extra
+#: decoders, crossbar and I/O per bank (Sohi & Franklin's ballpark).
+DEFAULT_BANK_AREA_FACTOR = 1.3
+
+
+@dataclass(frozen=True)
+class BankedResult:
+    """TPI and area of a banked dual-issue first level."""
+
+    config: SystemConfig
+    workload: str
+    n_banks: int
+    conflict_probability: float
+    effective_issue: float
+    tpi_ns: float
+    area_rbe: float
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+
+def evaluate_banked(
+    config: SystemConfig,
+    workload: Union[str, Trace],
+    n_banks: int = 4,
+    bank_area_factor: float = DEFAULT_BANK_AREA_FACTOR,
+    scale: Optional[float] = None,
+) -> BankedResult:
+    """Evaluate ``config`` with banked (rather than multiported) L1s.
+
+    The configuration's ``l1_ports``/``issue_width`` are overridden:
+    banking targets two accesses per cycle like the dual-ported §6
+    machine, shedding throughput only on bank conflicts.
+    """
+    if not is_pow2(n_banks) or n_banks < 2:
+        raise ConfigurationError("n_banks must be a power of two >= 2")
+    if bank_area_factor < 1.0:
+        raise ConfigurationError("banking cannot shrink the array")
+    trace = get_trace(workload, scale) if isinstance(workload, str) else workload
+
+    base = replace(config, l1_ports=1, issue_width=1)
+    stats = _cached_stats(
+        trace,
+        base.l1_bytes,
+        base.l2_bytes,
+        base.l2_associativity,
+        base.policy if base.has_l2 else Policy.CONVENTIONAL,
+        base.line_size,
+    )
+    timings = system_timings(base)
+
+    conflict_probability = 1.0 / n_banks
+    effective_issue = 2.0 / (1.0 + conflict_probability)
+
+    total = stats.n_instructions * timings.l1_cycle_ns / effective_issue
+    if base.has_l2:
+        total += stats.l2_hits * timings.l2_hit_penalty_ns
+        total += stats.l2_misses * timings.l2_miss_penalty_ns
+    else:
+        total += stats.l1_misses * timings.single_level_miss_penalty_ns
+
+    # Area: the two L1 arrays grow by the banking factor; L2 unchanged.
+    single_port_l1 = 2.0 * optimal_cache_area(
+        base.l1_bytes, associativity=1, ports=1, line_size=base.line_size,
+        tech=base.tech,
+    ).total
+    area = system_area_rbe(base) + single_port_l1 * (bank_area_factor - 1.0)
+
+    return BankedResult(
+        config=base,
+        workload=trace.name,
+        n_banks=n_banks,
+        conflict_probability=conflict_probability,
+        effective_issue=effective_issue,
+        tpi_ns=total / stats.n_instructions,
+        area_rbe=area,
+    )

@@ -1,0 +1,71 @@
+"""Linear-feedback shift register used for pseudo-random replacement.
+
+The paper's set-associative second-level caches use *pseudo-random*
+replacement.  Real hardware implements this with a free-running LFSR
+sampled on each replacement; we do the same so that the replacement
+stream is deterministic, reproducible, and independent of Python's
+global random state.
+
+The register is a 16-bit Galois LFSR with the maximal-length polynomial
+x^16 + x^14 + x^13 + x^11 + 1 (taps 0xB400), giving a period of
+2**16 - 1.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Lfsr16"]
+
+_TAPS = 0xB400
+_PERIOD = (1 << 16) - 1
+
+
+class Lfsr16:
+    """A 16-bit maximal-length Galois LFSR.
+
+    Parameters
+    ----------
+    seed:
+        Initial register contents; must be non-zero modulo 2**16 (the
+        all-zero state is a fixed point of the recurrence).  The default
+        seed mirrors a power-on reset value.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int = 0xACE1) -> None:
+        state = seed & 0xFFFF
+        if state == 0:
+            raise ValueError("LFSR seed must be non-zero in the low 16 bits")
+        self._state = state
+
+    @property
+    def state(self) -> int:
+        """Current register contents (16 bits)."""
+        return self._state
+
+    def step(self) -> int:
+        """Advance one cycle and return the new register contents."""
+        lsb = self._state & 1
+        self._state >>= 1
+        if lsb:
+            self._state ^= _TAPS
+        return self._state
+
+    def next_way(self, associativity: int) -> int:
+        """Return a replacement way index in ``range(associativity)``.
+
+        Hardware samples the low bits of the register; for power-of-two
+        associativities this is uniform over the LFSR period.  For
+        other associativities we reduce modulo ``associativity`` which
+        is what simple hardware implementations do as well.
+        """
+        if associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if associativity == 1:
+            return 0
+        return self.step() % associativity
+
+    @staticmethod
+    def period() -> int:
+        """Length of the state cycle (2**16 - 1 for a maximal LFSR)."""
+        return _PERIOD

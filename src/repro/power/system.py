@@ -1,0 +1,108 @@
+"""Energy per instruction for a whole cache system on a workload.
+
+Combines per-level access energies with simulated access counts:
+
+* every instruction accesses the L1 I-cache, and ``data_ratio`` of them
+  access the L1 D-cache in the same cycle;
+* every L1 miss probes the L2 (two-level systems);
+* every off-chip fetch pays a fixed (configurable) energy for the pad
+  drivers and external access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..cache.hierarchy import Policy
+from ..core.config import SystemConfig
+from ..core.evaluate import _cached_stats
+from ..traces.address import Trace
+from ..traces.store import get_trace
+from .energy import optimal_access_energy
+
+__all__ = ["SystemEnergy", "energy_per_instruction"]
+
+#: Energy of one off-chip line fetch (pJ): pad drivers, bus, external
+#: array — two orders of magnitude above an on-chip access, in line
+#: with the era's chip-crossing costs.
+OFF_CHIP_PJ = 2000.0
+
+
+@dataclass(frozen=True)
+class SystemEnergy:
+    """Energy accounting for one (config, workload) pair."""
+
+    config: SystemConfig
+    workload: str
+    l1_access_pj: float
+    l2_access_pj: float
+    l1_energy_pj: float
+    l2_energy_pj: float
+    off_chip_energy_pj: float
+    n_instructions: int
+
+    @property
+    def total_pj(self) -> float:
+        return self.l1_energy_pj + self.l2_energy_pj + self.off_chip_energy_pj
+
+    @property
+    def epi_pj(self) -> float:
+        """Energy per instruction (pJ) — the claim-5 figure of merit."""
+        return self.total_pj / self.n_instructions
+
+    @property
+    def on_chip_epi_pj(self) -> float:
+        """Energy per instruction excluding the off-chip term."""
+        return (self.l1_energy_pj + self.l2_energy_pj) / self.n_instructions
+
+
+def energy_per_instruction(
+    config: SystemConfig,
+    workload: Union[str, Trace],
+    scale: Optional[float] = None,
+    off_chip_pj: float = OFF_CHIP_PJ,
+) -> SystemEnergy:
+    """Energy per instruction of ``config`` on ``workload``.
+
+    Uses the same memoised simulations as :func:`repro.core.evaluate`.
+    """
+    trace = get_trace(workload, scale) if isinstance(workload, str) else workload
+    stats = _cached_stats(
+        trace,
+        config.l1_bytes,
+        config.l2_bytes,
+        config.l2_associativity,
+        config.policy if config.has_l2 else Policy.CONVENTIONAL,
+        config.line_size,
+    )
+    l1 = optimal_access_energy(
+        config.l1_bytes,
+        associativity=1,
+        ports=config.l1_ports,
+        line_size=config.line_size,
+        tech=config.tech,
+    ).total
+    l1_energy = stats.n_refs * l1
+    if config.has_l2:
+        l2 = optimal_access_energy(
+            config.l2_bytes,
+            associativity=config.l2_associativity,
+            line_size=config.line_size,
+            tech=config.tech,
+        ).total
+        l2_energy = stats.l1_misses * l2
+    else:
+        l2 = 0.0
+        l2_energy = 0.0
+    off_chip_energy = stats.off_chip_fetches * off_chip_pj
+    return SystemEnergy(
+        config=config,
+        workload=trace.name,
+        l1_access_pj=l1,
+        l2_access_pj=l2,
+        l1_energy_pj=l1_energy,
+        l2_energy_pj=l2_energy,
+        off_chip_energy_pj=off_chip_energy,
+        n_instructions=stats.n_instructions,
+    )

@@ -1,0 +1,1 @@
+"""One module per figure/table group of the paper (see DESIGN.md §4)."""

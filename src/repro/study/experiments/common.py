@@ -1,0 +1,90 @@
+"""Shared builders for the figure experiments.
+
+Every TPI-vs-area figure in the paper is assembled from the same three
+ingredients: a point cloud over the design space, its best-performance
+envelope, and (for comparison) the single-level-only staircase.  These
+helpers produce them as :class:`~repro.study.registry.Series`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
+
+from ...core.config import SystemConfig
+from ...core.envelope import best_envelope
+from ...core.evaluate import SystemPerformance
+from ...core.explorer import design_space, sweep
+from ...units import kb
+from ..registry import Series
+
+__all__ = [
+    "baseline_config",
+    "sweep_workload",
+    "cloud_series",
+    "envelope_series",
+    "single_level_series",
+    "figure_series",
+]
+
+#: Columns shared by all TPI-vs-area series.
+POINT_COLUMNS = ("config", "area_rbe", "tpi_ns")
+
+
+def baseline_config(**overrides: object) -> SystemConfig:
+    """The §4 baseline template: 4-way conventional L2, 50 ns off-chip."""
+    return replace(SystemConfig(l1_bytes=kb(1)), **overrides)  # type: ignore[arg-type]
+
+
+def sweep_workload(
+    workload: str,
+    template: SystemConfig,
+    scale: Optional[float],
+    include_single_level: bool = True,
+) -> List[SystemPerformance]:
+    """Evaluate the full paper design space for ``template``."""
+    configs = design_space(template, include_single_level=include_single_level)
+    return sweep(workload, configs, scale=scale)
+
+
+def _point_rows(perfs: Sequence[SystemPerformance]) -> Tuple[Tuple[object, ...], ...]:
+    ordered = sorted(perfs, key=lambda p: (p.area_rbe, p.tpi_ns))
+    return tuple((p.label, p.area_rbe, p.tpi_ns) for p in ordered)
+
+
+def cloud_series(name: str, perfs: Sequence[SystemPerformance]) -> Series:
+    """Every evaluated configuration, ordered by area."""
+    return Series(name=name, columns=POINT_COLUMNS, rows=_point_rows(perfs))
+
+
+def envelope_series(name: str, perfs: Sequence[SystemPerformance]) -> Series:
+    """The best-performance staircase of ``perfs``."""
+    env = best_envelope(perfs)
+    rows = tuple((p.label, p.area_rbe, p.tpi_ns) for p in env)
+    return Series(name=name, columns=POINT_COLUMNS, rows=rows)
+
+
+def single_level_series(name: str, perfs: Sequence[SystemPerformance]) -> Series:
+    """The staircase restricted to single-level configurations."""
+    singles = [p for p in perfs if not p.config.has_l2]
+    return envelope_series(name, singles)
+
+
+def figure_series(
+    workload: str,
+    template: SystemConfig,
+    scale: Optional[float],
+    include_cloud: bool = False,
+) -> List[Series]:
+    """The standard figure triple for one workload.
+
+    Returns ``[cloud?, best envelope, 1-level-only envelope]`` with the
+    series names the paper's legends use.
+    """
+    perfs = sweep_workload(workload, template, scale)
+    series: List[Series] = []
+    if include_cloud:
+        series.append(cloud_series(f"{workload} all configs", perfs))
+    series.append(envelope_series(f"{workload} best 2-level config", perfs))
+    series.append(single_level_series(f"{workload} 1-level only", perfs))
+    return series

@@ -1,0 +1,90 @@
+"""Figures 10–16: dual-ported first-level caches (§6).
+
+Each figure carries three envelopes for one workload:
+
+* ``1-level base system`` — single-level with ordinary 6T cells;
+* ``1-level dual ported`` — single-level with cells of twice the area
+  and twice the bandwidth (issue rate doubled);
+* ``best 2-level config`` — dual-ported L1 over a single-ported 4-way
+  L2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..registry import ExperimentResult, Series, register
+from .common import (
+    baseline_config,
+    envelope_series,
+    single_level_series,
+    sweep_workload,
+)
+
+__all__ = ["build_dual_ported_figure"]
+
+_WORKLOAD_BY_FIGURE = {
+    "fig10": "gcc1",
+    "fig11": "espresso",
+    "fig12": "doduc",
+    "fig13": "fpppp",
+    "fig14": "li",
+    "fig15": "eqntott",
+    "fig16": "tomcatv",
+}
+
+_PAGES = {
+    "fig10": 13,
+    "fig11": 13,
+    "fig12": 14,
+    "fig13": 14,
+    "fig14": 15,
+    "fig15": 15,
+    "fig16": 16,
+}
+
+
+def build_dual_ported_figure(
+    experiment_id: str, workload: str, scale: Optional[float]
+) -> ExperimentResult:
+    """Assemble the three envelopes of one §6 figure."""
+    base = baseline_config()
+    dual = base.dual_ported()
+
+    base_perfs = sweep_workload(workload, base, scale)
+    dual_perfs = sweep_workload(workload, dual, scale)
+
+    series = (
+        single_level_series(f"{workload} 1-level base system", base_perfs),
+        single_level_series(f"{workload} 1-level dual ported", dual_perfs),
+        envelope_series(f"{workload} best 2-level config", dual_perfs),
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"{workload}: 50ns, 4-way, 2X L1 area, 2X instruction issue rate",
+        series=series,
+        notes=(
+            "Dual-ported points double the issue rate and the L1 cell area; "
+            "the L2 keeps single-ported cells."
+        ),
+    )
+
+
+def _register_all() -> None:
+    for experiment_id, workload in _WORKLOAD_BY_FIGURE.items():
+
+        def runner(
+            scale: Optional[float] = None,
+            _id: str = experiment_id,
+            _workload: str = workload,
+        ) -> ExperimentResult:
+            return build_dual_ported_figure(_id, _workload, scale)
+
+        register(
+            experiment_id,
+            f"{workload}: 50ns, 4-way, 2X L1 area, 2X instruction issue rate",
+            f"Figure {experiment_id[3:]} (p.{_PAGES[experiment_id]})",
+        )(runner)
+
+
+_register_all()

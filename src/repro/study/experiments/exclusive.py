@@ -1,0 +1,76 @@
+"""Figures 22–26: two-level exclusive caching (§8)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ...cache.hierarchy import Policy
+from ..registry import ExperimentResult, Series, register
+from .common import baseline_config, figure_series
+
+__all__ = ["fig22", "fig23", "fig24", "fig25", "fig26"]
+
+
+def _exclusive_figure(
+    experiment_id: str,
+    workloads: Sequence[str],
+    scale: Optional[float],
+    l2_associativity: int,
+    include_cloud: bool = False,
+) -> ExperimentResult:
+    template = baseline_config(
+        policy=Policy.EXCLUSIVE, l2_associativity=l2_associativity
+    )
+    series: Tuple[Series, ...] = tuple(
+        s
+        for workload in workloads
+        for s in figure_series(workload, template, scale, include_cloud=include_cloud)
+    )
+    kind = "direct-mapped" if l2_associativity == 1 else f"{l2_associativity}-way"
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"{' and '.join(workloads)}: 50ns off-chip, exclusive {kind} L2",
+        series=series,
+        notes=(
+            "Single-level points are unaffected by the policy; two-level "
+            "points replace lines into the L2 on L1 eviction and remove "
+            "them on L2 hits (swap)."
+        ),
+    )
+
+
+@register("fig22", "gcc1: 50ns off-chip, exclusive direct-mapped L2", "Figure 22 (p.21)")
+def fig22(scale: Optional[float] = None) -> ExperimentResult:
+    return _exclusive_figure("fig22", ("gcc1",), scale, 1, include_cloud=True)
+
+
+@register("fig23", "gcc1: 50ns off-chip, exclusive 4-way L2", "Figure 23 (p.21)")
+def fig23(scale: Optional[float] = None) -> ExperimentResult:
+    return _exclusive_figure("fig23", ("gcc1",), scale, 4, include_cloud=True)
+
+
+@register(
+    "fig24",
+    "doduc and espresso: 50ns off-chip, exclusive 4-way L2",
+    "Figure 24 (p.22)",
+)
+def fig24(scale: Optional[float] = None) -> ExperimentResult:
+    return _exclusive_figure("fig24", ("doduc", "espresso"), scale, 4)
+
+
+@register(
+    "fig25",
+    "fpppp and li: 50ns off-chip, exclusive 4-way L2",
+    "Figure 25 (p.22)",
+)
+def fig25(scale: Optional[float] = None) -> ExperimentResult:
+    return _exclusive_figure("fig25", ("fpppp", "li"), scale, 4)
+
+
+@register(
+    "fig26",
+    "eqntott and tomcatv: 50ns off-chip, exclusive 4-way L2",
+    "Figure 26 (p.23)",
+)
+def fig26(scale: Optional[float] = None) -> ExperimentResult:
+    return _exclusive_figure("fig26", ("eqntott", "tomcatv"), scale, 4)

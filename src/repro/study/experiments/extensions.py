@@ -1,0 +1,312 @@
+"""Registered experiments for the beyond-the-paper studies.
+
+Ids ``ext1`` … ``ext10`` make the extension results as reproducible as
+the paper's own exhibits: ``python -m repro run ext1`` etc.  Each maps
+to a claim the paper states without measuring (see DESIGN.md §8).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...cache.hierarchy import Policy, simulate_hierarchy
+from ...core.config import SystemConfig
+from ...core.evaluate import evaluate
+from ...ext.banking import evaluate_banked
+from ...ext.inclusion import simulate_strict_inclusion
+from ...ext.l3 import evaluate_with_board_cache
+from ...ext.multicycle import evaluate_multicycle
+from ...ext.multiprogramming import multiprogramming_study
+from ...ext.nonblocking import evaluate_non_blocking
+from ...ext.stream_buffer import simulate_stream_buffer
+from ...ext.victim import simulate_victim_cache
+from ...ext.writes import count_write_traffic, evaluate_with_writes
+from ...power.system import energy_per_instruction
+from ...traces.store import get_trace
+from ...units import kb
+from ..registry import ExperimentResult, Series, register
+
+__all__ = []
+
+_SINGLE = SystemConfig(l1_bytes=kb(64))
+_TWO = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(128))
+
+
+@register("ext1", "Power: two-level uses less energy at equal area", "Intro advantage 5")
+def ext1(scale: Optional[float] = None) -> ExperimentResult:
+    rows = []
+    for workload in ("gcc1", "li"):
+        for label, config in (("64:0", _SINGLE), ("8:128", _TWO)):
+            energy = energy_per_instruction(config, workload, scale=scale)
+            rows.append(
+                (workload, label, energy.on_chip_epi_pj, energy.epi_pj)
+            )
+    series = Series(
+        name="energy per instruction",
+        columns=("workload", "config", "onchip_epi_pj", "epi_pj"),
+        rows=tuple(rows),
+    )
+    return ExperimentResult("ext1", "Two-level power advantage", (series,))
+
+
+@register("ext2", "Future work: multicycle L1 and non-blocking loads", "Section 10")
+def ext2(scale: Optional[float] = None) -> ExperimentResult:
+    multicycle_rows = []
+    for label, config in (("64:0", _SINGLE), ("8:128", _TWO)):
+        base = evaluate(config, "gcc1", scale=scale)
+        multi = evaluate_multicycle(config, "gcc1", scale=scale)
+        multicycle_rows.append((label, base.tpi_ns, multi.tpi_ns, multi.l1_cycles))
+    nb_rows = []
+    nb_config = SystemConfig(l1_bytes=kb(2), l2_bytes=kb(32))
+    for overlap in (0.0, 0.5, 0.9):
+        result = evaluate_non_blocking(nb_config, "gcc1", overlap=overlap, scale=scale)
+        nb_rows.append((overlap, result.tpi_ns))
+    return ExperimentResult(
+        "ext2",
+        "Section 10 conjectures, measured",
+        (
+            Series(
+                name="conjecture 1: multicycle L1",
+                columns=("config", "baseline_tpi_ns", "multicycle_tpi_ns", "l1_cycles"),
+                rows=tuple(multicycle_rows),
+            ),
+            Series(
+                name="conjecture 2: non-blocking loads (2:32)",
+                columns=("overlap", "tpi_ns"),
+                rows=tuple(nb_rows),
+            ),
+        ),
+    )
+
+
+@register("ext3", "Strict inclusion vs non-inclusive vs exclusive", "Ref [1] (Baer-Wang)")
+def ext3(scale: Optional[float] = None) -> ExperimentResult:
+    trace = get_trace("gcc1", scale if scale is not None else 0.2)
+    rows = []
+    for l2_kb in (16, 64):
+        strict = simulate_strict_inclusion(trace, kb(8), kb(l2_kb))
+        baseline = simulate_hierarchy(trace, kb(8), kb(l2_kb), 4)
+        exclusive = simulate_hierarchy(
+            trace, kb(8), kb(l2_kb), 4, Policy.EXCLUSIVE
+        )
+        rows.append(
+            (
+                f"8:{l2_kb}",
+                strict.global_miss_rate,
+                baseline.global_miss_rate,
+                exclusive.global_miss_rate,
+            )
+        )
+    series = Series(
+        name="off-chip miss rate by policy",
+        columns=("config", "strict_inclusion", "non_inclusive", "exclusive"),
+        rows=tuple(rows),
+    )
+    return ExperimentResult("ext3", "Inclusion-policy spectrum", (series,))
+
+
+@register("ext4", "Victim caches and stream buffers (Jouppi 1990)", "Ref [4]")
+def ext4(scale: Optional[float] = None) -> ExperimentResult:
+    victim_rows = []
+    for lines in (4, 16, 64):
+        stats = simulate_victim_cache("gcc1", kb(8), victim_lines=lines, scale=scale)
+        victim_rows.append((lines, stats.victim_hit_rate, stats.miss_rate_below))
+    buffer_rows = []
+    for workload in ("fpppp", "gcc1", "eqntott"):
+        stats = simulate_stream_buffer(workload, kb(4), scale=scale)
+        buffer_rows.append((workload, stats.buffer_hit_rate, stats.miss_rate_below))
+    return ExperimentResult(
+        "ext4",
+        "Reference [4]'s structures",
+        (
+            Series(
+                name="victim buffer on 8K L1s (gcc1)",
+                columns=("victim_lines", "hit_rate", "miss_rate_below"),
+                rows=tuple(victim_rows),
+            ),
+            Series(
+                name="4x4 stream buffers on 4K L1s",
+                columns=("workload", "I_hit_rate", "miss_rate_below"),
+                rows=tuple(buffer_rows),
+            ),
+        ),
+    )
+
+
+@register("ext5", "Write-back traffic behind the writes-as-reads model", "Section 2.2")
+def ext5(scale: Optional[float] = None) -> ExperimentResult:
+    rows = []
+    for policy in Policy:
+        traffic = count_write_traffic("gcc1", kb(8), kb(64), 4, policy, scale=scale)
+        rows.append(
+            (
+                policy.value,
+                traffic.l1_dirty_victims,
+                traffic.l1_writebacks_offchip,
+                traffic.l2_dirty_evictions,
+            )
+        )
+    tpi = evaluate_with_writes(
+        SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64)), "gcc1", scale=scale
+    )
+    tpi_series = Series(
+        name="TPI impact (8:64 conventional)",
+        columns=("paper_model_tpi_ns", "with_writebacks_tpi_ns", "overhead"),
+        rows=((tpi.baseline_tpi_ns, tpi.tpi_ns, tpi.writeback_overhead),),
+    )
+    return ExperimentResult(
+        "ext5",
+        "Write traffic accounting",
+        (
+            Series(
+                name="write-back events (8:64)",
+                columns=("policy", "dirty_l1_victims", "direct_offchip", "l2_dirty_evictions"),
+                rows=tuple(rows),
+            ),
+            tpi_series,
+        ),
+    )
+
+
+@register("ext6", "Multiprogramming interference", "Section 2.2 exclusion")
+def ext6(scale: Optional[float] = None) -> ExperimentResult:
+    rows = []
+    for quantum in (2_000, 20_000):
+        for l2_kb in (0, 128):
+            result = multiprogramming_study(
+                "espresso",
+                "li",
+                kb(8),
+                kb(l2_kb) if l2_kb else 0,
+                quantum_instructions=quantum,
+                scale=scale,
+            )
+            rows.append(
+                (
+                    quantum,
+                    f"8:{l2_kb}",
+                    result.solo_global_miss_rate,
+                    result.combined.global_miss_rate,
+                    result.interference_factor,
+                )
+            )
+    series = Series(
+        name="espresso+li interleaved",
+        columns=("quantum", "config", "solo_mr", "mixed_mr", "inflation"),
+        rows=tuple(rows),
+    )
+    return ExperimentResult("ext6", "Context-switch interference", (series,))
+
+
+@register("ext7", "Explicit board-level cache vs constant off-chip", "Section 8 close")
+def ext7(scale: Optional[float] = None) -> ExperimentResult:
+    config = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64))
+    rows = []
+    for l3_kb in (256, 1024, 4096):
+        result = evaluate_with_board_cache(
+            config, "gcc1", l3_bytes=kb(l3_kb), scale=scale
+        )
+        rows.append(
+            (
+                f"{l3_kb}K",
+                result.l3_local_miss_rate,
+                result.effective_off_chip_ns,
+                result.tpi_ns,
+                result.constant_model_tpi_ns,
+            )
+        )
+    series = Series(
+        name="board cache behind 8:64 (gcc1)",
+        columns=("l3", "l3_local_mr", "eff_offchip_ns", "tpi_ns", "constant_50ns_tpi"),
+        rows=tuple(rows),
+    )
+    return ExperimentResult("ext7", "Board-level cache model", (series,))
+
+
+@register("ext8", "Banked vs dual-ported first-level caches", "Section 6 / ref [8]")
+def ext8(scale: Optional[float] = None) -> ExperimentResult:
+    config = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64))
+    rows = []
+    single = evaluate(config, "gcc1", scale=scale)
+    rows.append(("single-issue", single.tpi_ns, single.area_rbe))
+    for n_banks in (2, 4, 8):
+        banked = evaluate_banked(config, "gcc1", n_banks=n_banks, scale=scale)
+        rows.append((f"banked x{n_banks}", banked.tpi_ns, banked.area_rbe))
+    dual = evaluate(config.dual_ported(), "gcc1", scale=scale)
+    rows.append(("dual-ported", dual.tpi_ns, dual.area_rbe))
+    series = Series(
+        name="bandwidth organisations (gcc1, 8:64)",
+        columns=("organisation", "tpi_ns", "area_rbe"),
+        rows=tuple(rows),
+    )
+    return ExperimentResult("ext8", "Banking vs dual porting", (series,))
+
+
+@register("ext9", "Set-associative L1s: Hill's tradeoff", "Ref [3] (Hill)")
+def ext9(scale: Optional[float] = None) -> ExperimentResult:
+    from ...ext.associative_l1 import evaluate_associative_l1
+
+    rows = []
+    for associativity in (1, 2, 4):
+        result = evaluate_associative_l1(
+            "gcc1", kb(8), associativity, scale=scale if scale is not None else 0.2
+        )
+        rows.append(
+            (
+                f"{associativity}-way",
+                result.l1_miss_rate,
+                result.l1_cycle_ns,
+                result.tpi_ns,
+            )
+        )
+    series = Series(
+        name="8K L1s, single level, gcc1 (LRU)",
+        columns=("L1", "miss_rate", "cycle_ns", "tpi_ns"),
+        rows=tuple(rows),
+    )
+    return ExperimentResult(
+        "ext9",
+        "Associativity vs cycle time at level one",
+        (series,),
+        notes=(
+            "Associativity trades cycle time for miss rate; the winner "
+            "depends on the miss penalty and the way-select cost, which "
+            "is Hill's argument in the paper's reference [3]."
+        ),
+    )
+
+
+@register("ext10", "Split vs unified first-level caches", "Intro advantage 1")
+def ext10(scale: Optional[float] = None) -> ExperimentResult:
+    from ...ext.unified_l1 import compare_split_vs_unified
+
+    rows = []
+    for workload in ("gcc1", "espresso", "tomcatv"):
+        dm = compare_split_vs_unified(workload, kb(8), scale=scale)
+        sa = compare_split_vs_unified(
+            workload, kb(8), unified_associativity=4, scale=scale
+        )
+        rows.append(
+            (
+                workload,
+                dm.split_miss_rate,
+                dm.unified_miss_rate,
+                sa.unified_miss_rate,
+            )
+        )
+    series = Series(
+        name="2x8K split vs 16K unified",
+        columns=("workload", "split_mr", "unified_DM_mr", "unified_4way_mr"),
+        rows=tuple(rows),
+    )
+    return ExperimentResult(
+        "ext10",
+        "Dynamic allocation needs associativity",
+        (series,),
+        notes=(
+            "A direct-mapped mixed cache lets streams evict code; a "
+            "4-way mixed cache always wins on miss rate — which is why "
+            "the paper splits the L1s and makes the mixed L2 "
+            "set-associative."
+        ),
+    )

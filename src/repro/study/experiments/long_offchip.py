@@ -1,0 +1,54 @@
+"""Figures 17–20: 200 ns off-chip miss service (no board-level cache).
+
+The miss-rate simulations are shared with the 50 ns figures (off-chip
+time does not change cache contents); only the TPI weighting differs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..registry import ExperimentResult, Series, register
+from .common import baseline_config, figure_series
+
+__all__ = ["fig17", "fig18", "fig19", "fig20"]
+
+
+def _long_offchip_figure(
+    experiment_id: str,
+    workloads: Sequence[str],
+    scale: Optional[float],
+    include_cloud: bool = False,
+) -> ExperimentResult:
+    template = baseline_config(off_chip_ns=200.0)
+    series: Tuple[Series, ...] = tuple(
+        s
+        for workload in workloads
+        for s in figure_series(workload, template, scale, include_cloud=include_cloud)
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"{' and '.join(workloads)}: 200ns off-chip, L2 4-way set-associative",
+        series=series,
+        notes="Two-level hierarchies are a bigger win with the larger off-chip time.",
+    )
+
+
+@register("fig17", "gcc1: 200ns off-chip, L2 4-way set-associative", "Figure 17 (p.17)")
+def fig17(scale: Optional[float] = None) -> ExperimentResult:
+    return _long_offchip_figure("fig17", ("gcc1",), scale, include_cloud=True)
+
+
+@register("fig18", "doduc and espresso: 200ns off-chip, L2 4-way", "Figure 18 (p.17)")
+def fig18(scale: Optional[float] = None) -> ExperimentResult:
+    return _long_offchip_figure("fig18", ("doduc", "espresso"), scale)
+
+
+@register("fig19", "fpppp and li: 200ns off-chip, L2 4-way", "Figure 19 (p.18)")
+def fig19(scale: Optional[float] = None) -> ExperimentResult:
+    return _long_offchip_figure("fig19", ("fpppp", "li"), scale)
+
+
+@register("fig20", "tomcatv and eqntott: 200ns off-chip, L2 4-way", "Figure 20 (p.18)")
+def fig20(scale: Optional[float] = None) -> ExperimentResult:
+    return _long_offchip_figure("fig20", ("tomcatv", "eqntott"), scale)

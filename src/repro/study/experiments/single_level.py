@@ -1,0 +1,64 @@
+"""Figures 3 and 4: single-level caching performance (50 ns off-chip).
+
+Each workload's TPI is plotted against the area of the split L1 pair;
+the paper's observation — an interior minimum between 8 KB and 128 KB —
+is what the series reproduce.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ...core.explorer import standard_l1_sizes, sweep
+from ...core.config import SystemConfig
+from ...units import kb
+from ..registry import ExperimentResult, Series, register
+from .common import POINT_COLUMNS
+
+__all__ = ["fig3", "fig4", "single_level_curve"]
+
+_FIG3_WORKLOADS = ("gcc1", "espresso", "doduc", "fpppp")
+_FIG4_WORKLOADS = ("li", "eqntott", "tomcatv")
+
+
+def single_level_curve(
+    workload: str, scale: Optional[float], off_chip_ns: float = 50.0
+) -> Series:
+    """TPI vs area across all single-level L1 sizes for one workload."""
+    configs = [
+        SystemConfig(l1_bytes=size, l2_bytes=0, off_chip_ns=off_chip_ns)
+        for size in standard_l1_sizes()
+    ]
+    perfs = sweep(workload, configs, scale=scale)
+    rows = tuple((p.label, p.area_rbe, p.tpi_ns) for p in perfs)
+    return Series(name=workload, columns=POINT_COLUMNS, rows=rows)
+
+
+def _single_level_figure(
+    experiment_id: str, workloads: Sequence[str], scale: Optional[float]
+) -> ExperimentResult:
+    series = tuple(single_level_curve(name, scale) for name in workloads)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"{', '.join(workloads)}: 50ns off-chip service time, L1 only",
+        series=series,
+        notes="Every workload shows a TPI minimum between 8KB and 128KB.",
+    )
+
+
+@register(
+    "fig3",
+    "gcc1, espresso, doduc, and fpppp: 50ns off-chip service time, L1 only",
+    "Figure 3 (p.7)",
+)
+def fig3(scale: Optional[float] = None) -> ExperimentResult:
+    return _single_level_figure("fig3", _FIG3_WORKLOADS, scale)
+
+
+@register(
+    "fig4",
+    "li, eqntott, and tomcatv: 50ns off-chip service time, L1 only",
+    "Figure 4 (p.8)",
+)
+def fig4(scale: Optional[float] = None) -> ExperimentResult:
+    return _single_level_figure("fig4", _FIG4_WORKLOADS, scale)

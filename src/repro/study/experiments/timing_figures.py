@@ -1,0 +1,111 @@
+"""Figures 1 and 2: the timing model's own exhibits.
+
+Figure 1 plots the optimised access and cycle time of the (pair of)
+first-level caches against their area.  Figure 2 plots second-level
+access/cycle times assuming 4 KB L1 caches, showing the quantisation of
+the L2 cycle to whole processor cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...area.model import optimal_cache_area
+from ...core.config import SystemConfig
+from ...core.tpi import system_timings
+from ...timing.optimal import optimal_timing
+from ...units import fmt_size, kb
+from ..registry import ExperimentResult, Series, register
+
+__all__ = ["fig1", "fig2"]
+
+_L1_SIZES_KB = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+_L2_SIZES_KB = (8, 16, 32, 64, 128, 256)
+
+
+@register(
+    "fig1",
+    "First level cache access and cycle times",
+    "Figure 1 (p.5)",
+)
+def fig1(scale: Optional[float] = None) -> ExperimentResult:
+    """L1 access/cycle time vs area for the paper's nine sizes.
+
+    ``scale`` is accepted for interface uniformity and ignored: the
+    exhibit involves no trace simulation.
+    """
+    rows = []
+    for size_kb in _L1_SIZES_KB:
+        size = kb(size_kb)
+        timing = optimal_timing(size, associativity=1)
+        # The X axis is the area of the split L1 pair, as plotted.
+        area = 2.0 * optimal_cache_area(size, associativity=1).total
+        rows.append(
+            (
+                fmt_size(size),
+                area,
+                timing.access_ns,
+                timing.cycle_ns,
+                f"{timing.organization.ndwl}/{timing.organization.ndbl}"
+                f"/{timing.organization.nspd}",
+            )
+        )
+    series = Series(
+        name="L1 pair timing (0.5um)",
+        columns=("l1_size", "area_rbe", "access_ns", "cycle_ns", "org ndwl/ndbl/nspd"),
+        rows=tuple(rows),
+    )
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="First level cache access and cycle times",
+        series=(series,),
+        notes="Direct-mapped split I/D pair; X axis is pair area in rbe.",
+    )
+
+
+@register(
+    "fig2",
+    "L2 access and cycle times with 4KB L1 caches",
+    "Figure 2 (p.5)",
+)
+def fig2(scale: Optional[float] = None) -> ExperimentResult:
+    """L2 timing (raw and quantised) against L2 area, with 4 KB L1s."""
+    rows = []
+    for size_kb in _L2_SIZES_KB:
+        size = kb(size_kb)
+        config = SystemConfig(l1_bytes=kb(4), l2_bytes=size, l2_associativity=4)
+        timings = system_timings(config)
+        area = optimal_cache_area(size, associativity=4).total
+        rows.append(
+            (
+                fmt_size(size),
+                area,
+                timings.l2_raw_access_ns,
+                timings.l2_raw_cycle_ns,
+                timings.l2_cycle_ns,
+                timings.l2_cycles,
+                timings.l2_hit_penalty_ns,
+            )
+        )
+    series = Series(
+        name="L2 timing with 4KB L1 (4-way)",
+        columns=(
+            "l2_size",
+            "area_rbe",
+            "access_ns",
+            "cycle_ns",
+            "quantised_cycle_ns",
+            "l2_cycles",
+            "l1_miss_penalty_ns",
+        ),
+        rows=tuple(rows),
+    )
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="L2 access and cycle times with 4KB L1 caches",
+        series=(series,),
+        notes=(
+            "The quantised cycle is rounded up to a whole multiple of the "
+            "4KB L1 cycle time; the L1 miss penalty is 2*T_L2 + T_L1 (Sec 2.5)."
+        ),
+    )

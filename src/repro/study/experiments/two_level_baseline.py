@@ -1,0 +1,88 @@
+"""Figures 5–9: baseline two-level caching (50 ns, conventional policy).
+
+Figure 5 shows gcc1's full configuration cloud with the best envelope
+and the single-level staircase; Figures 6–8 show the envelopes for the
+other six workloads; Figure 9 repeats gcc1 with a direct-mapped L2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..registry import ExperimentResult, Series, register
+from .common import baseline_config, figure_series
+
+__all__ = ["fig5", "fig6", "fig7", "fig8", "fig9"]
+
+
+def _pair_figure(
+    experiment_id: str,
+    workloads: Sequence[str],
+    scale: Optional[float],
+    l2_associativity: int = 4,
+    title_suffix: str = "50ns off-chip, L2 4-way set-associative",
+    include_cloud: bool = False,
+) -> ExperimentResult:
+    template = baseline_config(l2_associativity=l2_associativity)
+    series: Tuple[Series, ...] = tuple(
+        s
+        for workload in workloads
+        for s in figure_series(workload, template, scale, include_cloud=include_cloud)
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"{' and '.join(workloads)}: {title_suffix}",
+        series=series,
+    )
+
+
+@register(
+    "fig5",
+    "gcc1: 50ns off-chip, L2 4-way set-associative",
+    "Figure 5 (p.9)",
+)
+def fig5(scale: Optional[float] = None) -> ExperimentResult:
+    return _pair_figure("fig5", ("gcc1",), scale, include_cloud=True)
+
+
+@register(
+    "fig6",
+    "doduc and espresso: 50ns off-chip, L2 4-way set-associative",
+    "Figure 6 (p.10)",
+)
+def fig6(scale: Optional[float] = None) -> ExperimentResult:
+    return _pair_figure("fig6", ("doduc", "espresso"), scale)
+
+
+@register(
+    "fig7",
+    "fpppp and li: 50ns off-chip, L2 4-way set-associative",
+    "Figure 7 (p.10)",
+)
+def fig7(scale: Optional[float] = None) -> ExperimentResult:
+    return _pair_figure("fig7", ("fpppp", "li"), scale)
+
+
+@register(
+    "fig8",
+    "tomcatv and eqntott: 50ns off-chip, L2 4-way set-associative",
+    "Figure 8 (p.11)",
+)
+def fig8(scale: Optional[float] = None) -> ExperimentResult:
+    return _pair_figure("fig8", ("tomcatv", "eqntott"), scale)
+
+
+@register(
+    "fig9",
+    "gcc1: 50ns off-chip, L2 direct-mapped",
+    "Figure 9 (p.12)",
+)
+def fig9(scale: Optional[float] = None) -> ExperimentResult:
+    return _pair_figure(
+        "fig9",
+        ("gcc1",),
+        scale,
+        l2_associativity=1,
+        title_suffix="50ns off-chip, L2 direct-mapped",
+        include_cloud=True,
+    )

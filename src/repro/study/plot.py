@@ -1,0 +1,171 @@
+"""ASCII log-log plotting for experiment series.
+
+The paper's figures are log-log scatter/staircase plots of TPI (ns)
+against area (rbe).  This module renders the same picture in a terminal
+so `python -m repro plot fig5` shows the reproduction the way the paper
+shows the original.
+
+The renderer is deliberately simple: a fixed-size character grid, log
+scales on both axes, one glyph per series, last-writer-wins on
+collisions (series are drawn in order, so envelopes drawn last stay
+visible).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from .registry import ExperimentResult, Series
+
+__all__ = ["AsciiPlot", "plot_series", "plot_experiment"]
+
+#: Glyphs assigned to successive series.
+_GLYPHS = "ox*+#@%&"
+
+
+@dataclass(frozen=True)
+class AsciiPlot:
+    """A rendered plot plus its legend."""
+
+    lines: Tuple[str, ...]
+    legend: Tuple[Tuple[str, str], ...]  # (glyph, series name)
+
+    def render(self) -> str:
+        body = "\n".join(self.lines)
+        legend = "\n".join(f"  {glyph}  {name}" for glyph, name in self.legend)
+        return f"{body}\n{legend}"
+
+
+def _log_ticks(lo: float, hi: float) -> List[float]:
+    """Tick positions covering [lo, hi]: decades plus 2x/5x subticks
+    when the span covers fewer than two decades (the paper's narrow TPI
+    axes would otherwise show a single label)."""
+    decades = []
+    decade = 10 ** math.floor(math.log10(lo))
+    while decade <= hi * 1.0000001:
+        decades.append(decade)
+        decade *= 10
+    multipliers = [1.0] if hi / lo >= 100 else [1.0, 2.0, 5.0]
+    ticks = [
+        d * m
+        for d in decades
+        for m in multipliers
+        if lo * 0.9999999 <= d * m <= hi * 1.0000001
+    ]
+    return sorted(ticks) or [lo]
+
+
+def _fmt_tick(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:g}M"
+    if value >= 1e3:
+        return f"{value / 1e3:g}k"
+    return f"{value:g}"
+
+
+def plot_series(
+    series_list: Sequence[Series],
+    x_column: str = "area_rbe",
+    y_column: str = "tpi_ns",
+    width: int = 72,
+    height: int = 22,
+) -> AsciiPlot:
+    """Render several series as one log-log scatter plot.
+
+    Raises
+    ------
+    ExperimentError
+        If no series carries plottable (positive) data in the chosen
+        columns.
+    """
+    points: List[Tuple[float, float, str]] = []
+    legend: List[Tuple[str, str]] = []
+    for index, series in enumerate(series_list):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        legend.append((glyph, series.name))
+        xs = series.column(x_column)
+        ys = series.column(y_column)
+        for x, y in zip(xs, ys):
+            if isinstance(x, (int, float)) and isinstance(y, (int, float)):
+                if x > 0 and y > 0:
+                    points.append((float(x), float(y), glyph))
+    if not points:
+        raise ExperimentError("nothing to plot: no positive numeric points")
+
+    x_lo = min(p[0] for p in points)
+    x_hi = max(p[0] for p in points)
+    y_lo = min(p[1] for p in points)
+    y_hi = max(p[1] for p in points)
+    # Pad degenerate ranges so a single point still renders.
+    if x_lo == x_hi:
+        x_lo, x_hi = x_lo * 0.9, x_hi * 1.1
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo * 0.9, y_hi * 1.1
+
+    lx_lo, lx_hi = math.log10(x_lo), math.log10(x_hi)
+    ly_lo, ly_hi = math.log10(y_lo), math.log10(y_hi)
+
+    def col_of(x: float) -> int:
+        frac = (math.log10(x) - lx_lo) / (lx_hi - lx_lo)
+        return min(width - 1, max(0, round(frac * (width - 1))))
+
+    def row_of(y: float) -> int:
+        frac = (math.log10(y) - ly_lo) / (ly_hi - ly_lo)
+        return min(height - 1, max(0, round((1.0 - frac) * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, glyph in points:
+        grid[row_of(y)][col_of(x)] = glyph
+
+    margin = 9
+    lines = []
+    y_ticks = {row_of(t): t for t in _log_ticks(y_lo, y_hi)}
+    for row in range(height):
+        label = _fmt_tick(y_ticks[row]) if row in y_ticks else ""
+        lines.append(f"{label:>{margin - 2}} |" + "".join(grid[row]))
+    lines.append(" " * (margin - 1) + "+" + "-" * width)
+    x_axis = [" "] * width
+    x_labels: List[Tuple[int, str]] = []
+    for tick in _log_ticks(x_lo, x_hi):
+        col = col_of(tick)
+        x_axis[col] = "|"
+        x_labels.append((col, _fmt_tick(tick)))
+    lines.append(" " * margin + "".join(x_axis))
+    label_row = [" "] * (width + margin)
+    for col, text in x_labels:
+        start = min(margin + col, len(label_row) - len(text))
+        label_row[start : start + len(text)] = list(text)
+    lines.append("".join(label_row).rstrip())
+    return AsciiPlot(lines=tuple(lines), legend=tuple(legend))
+
+
+def plot_experiment(
+    result: ExperimentResult,
+    width: int = 72,
+    height: int = 22,
+    series_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Render an experiment's TPI-vs-area series like the paper's figure.
+
+    Only series that carry the standard ``(config, area_rbe, tpi_ns)``
+    columns are plotted (Table 1 and the timing figures have their own
+    natural table form and raise).
+    """
+    if series_names is not None:
+        chosen = [result.get_series(name) for name in series_names]
+    else:
+        chosen = [
+            s
+            for s in result.series
+            if "area_rbe" in s.columns and "tpi_ns" in s.columns
+        ]
+    if not chosen:
+        raise ExperimentError(
+            f"{result.experiment_id} has no TPI-vs-area series to plot"
+        )
+    plot = plot_series(chosen, width=width, height=height)
+    header = f"== {result.experiment_id}: {result.title} (log-log) =="
+    return f"{header}\n{plot.render()}"

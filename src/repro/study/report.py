@@ -1,0 +1,44 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Render one cell: floats get sensible precision, ints group digits."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 10000:
+            return f"{value:,.0f}"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.5f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    columns: Sequence[str], rows: Iterable[Tuple[object, ...]]
+) -> str:
+    """Render rows under headers with right-aligned numeric columns."""
+    formatted = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(name) for name in columns]
+    for row in formatted:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    header = "  ".join(name.rjust(widths[i]) for i, name in enumerate(columns))
+    rule = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        for row in formatted
+    ]
+    return "\n".join([header, rule, *body])

@@ -1,0 +1,123 @@
+"""Persistence for experiment results (JSON) and whole-study reports.
+
+Reproduction artefacts should survive the process: every
+:class:`~repro.study.registry.ExperimentResult` serialises to a stable
+JSON document (and back), and :func:`write_report` regenerates any set
+of experiments into a directory with one ``.json`` + ``.txt`` pair per
+exhibit plus an index — the bundle a reviewer would want to diff
+between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from ..errors import ExperimentError
+from .registry import ExperimentResult, Series, experiment_ids, get_experiment
+
+__all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result", "write_report"]
+
+#: Format version for stored results.
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A JSON-safe representation of ``result``."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "notes": result.notes,
+        "series": [
+            {
+                "name": series.name,
+                "columns": list(series.columns),
+                "rows": [list(row) for row in series.rows],
+            }
+            for series in result.series
+        ],
+    }
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from ``result_to_dict`` output.
+
+    Raises
+    ------
+    ExperimentError
+        On missing keys or an unsupported schema version.
+    """
+    try:
+        if payload["schema"] != SCHEMA_VERSION:
+            raise ExperimentError(
+                f"unsupported result schema {payload['schema']!r}"
+            )
+        series = tuple(
+            Series(
+                name=entry["name"],
+                columns=tuple(entry["columns"]),
+                rows=tuple(tuple(row) for row in entry["rows"]),
+            )
+            for entry in payload["series"]
+        )
+        return ExperimentResult(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            series=series,
+            notes=payload.get("notes", ""),
+        )
+    except KeyError as missing:
+        raise ExperimentError(f"malformed result document: missing {missing}") from None
+
+
+def save_result(result: ExperimentResult, path: Union[str, Path]) -> None:
+    """Write ``result`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+
+
+def load_result(path: Union[str, Path]) -> ExperimentResult:
+    """Load a result written by :func:`save_result`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise ExperimentError(f"{path} is not valid JSON: {error}") from None
+    return result_from_dict(payload)
+
+
+def write_report(
+    out_dir: Union[str, Path],
+    ids: Optional[Iterable[str]] = None,
+    scale: Optional[float] = None,
+) -> List[str]:
+    """Run experiments and write ``<id>.json`` / ``<id>.txt`` + an index.
+
+    Parameters
+    ----------
+    out_dir:
+        Created if missing.
+    ids:
+        Experiment ids to run; default all registered.
+    scale:
+        Trace scale passed to each experiment.
+
+    Returns
+    -------
+    list of str
+        The ids written, in run order.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    chosen = list(ids) if ids is not None else experiment_ids()
+    index_lines = []
+    for experiment_id in chosen:
+        experiment = get_experiment(experiment_id)
+        result = experiment.run(scale=scale)
+        save_result(result, out / f"{experiment_id}.json")
+        (out / f"{experiment_id}.txt").write_text(result.render() + "\n")
+        index_lines.append(
+            f"{experiment_id}\t{experiment.paper_reference}\t{experiment.title}"
+        )
+    (out / "INDEX.tsv").write_text("\n".join(index_lines) + "\n")
+    return chosen

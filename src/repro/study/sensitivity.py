@@ -1,0 +1,142 @@
+"""Sensitivity analyses around the paper's fixed parameters.
+
+The paper pins several knobs (16-byte lines, 50/200 ns off-chip, 25 %
+warmup in this reproduction).  These helpers sweep each one so the
+ablation benchmarks can show how robust the conclusions are:
+
+* :func:`off_chip_sensitivity` — the envelope's best TPI at fixed area
+  budgets across off-chip service times: two-level caching matters more
+  the slower memory gets (generalising §7 beyond 50/200 ns).
+* :func:`line_size_sensitivity` — TPI of one configuration across line
+  sizes, trading spatial prefetch against transfer time.
+* :func:`warmup_sensitivity` — measured miss rate of one configuration
+  across warmup fractions, validating the substitution of DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence, Union
+
+from ..cache.hierarchy import simulate_hierarchy
+from ..core.config import SystemConfig
+from ..core.envelope import best_envelope, envelope_tpi_at
+from ..core.explorer import design_space, sweep
+from ..traces.address import Trace
+from ..traces.store import get_trace
+from .registry import Series
+
+__all__ = [
+    "off_chip_sensitivity",
+    "line_size_sensitivity",
+    "warmup_sensitivity",
+]
+
+
+def off_chip_sensitivity(
+    workload: str,
+    area_budgets_rbe: Sequence[float],
+    off_chip_values_ns: Sequence[float] = (25.0, 50.0, 100.0, 200.0, 400.0),
+    scale: Optional[float] = None,
+) -> Series:
+    """Best envelope TPI per (off-chip time, area budget), plus the
+    relative advantage of allowing two levels at each point.
+
+    The cache simulations are shared across off-chip values (miss
+    behaviour does not depend on latency), so the sweep costs one
+    simulation pass total.
+    """
+    rows = []
+    for off_chip in off_chip_values_ns:
+        template = SystemConfig(l1_bytes=1024, off_chip_ns=off_chip)
+        perfs = sweep(workload, design_space(template), scale=scale)
+        env_all = best_envelope(perfs)
+        env_single = best_envelope([p for p in perfs if not p.config.has_l2])
+        for budget in area_budgets_rbe:
+            best_all = envelope_tpi_at(env_all, budget)
+            best_single = envelope_tpi_at(env_single, budget)
+            advantage = (
+                (best_single / best_all - 1.0) * 100.0
+                if best_all > 0 and best_single != float("inf")
+                else 0.0
+            )
+            rows.append((off_chip, budget, best_all, best_single, advantage))
+    return Series(
+        name=f"{workload} off-chip sensitivity",
+        columns=(
+            "off_chip_ns",
+            "area_budget_rbe",
+            "best_tpi_ns",
+            "best_single_level_tpi_ns",
+            "two_level_advantage_%",
+        ),
+        rows=tuple(rows),
+    )
+
+
+def line_size_sensitivity(
+    workload: str,
+    base_config: SystemConfig,
+    line_sizes: Sequence[int] = (16, 32, 64),
+    scale: Optional[float] = None,
+) -> Series:
+    """TPI and miss rates of one configuration across line sizes.
+
+    Larger lines prefetch spatially (fewer misses on sequential code)
+    but move more data per miss (more transfer cycles) — the classic
+    line-size tradeoff the paper fixes at 16 bytes.
+    """
+    from ..core.evaluate import evaluate
+
+    rows = []
+    for line_size in line_sizes:
+        config = replace(base_config, line_size=line_size)
+        perf = evaluate(config, workload, scale=scale)
+        rows.append(
+            (
+                line_size,
+                perf.stats.l1_miss_rate,
+                perf.stats.global_miss_rate,
+                perf.tpi.timings.l2_hit_penalty_ns,
+                perf.tpi_ns,
+            )
+        )
+    return Series(
+        name=f"{workload} line-size sensitivity ({base_config.label})",
+        columns=(
+            "line_bytes",
+            "l1_miss_rate",
+            "global_miss_rate",
+            "l2_hit_penalty_ns",
+            "tpi_ns",
+        ),
+        rows=tuple(rows),
+    )
+
+
+def warmup_sensitivity(
+    workload: Union[str, Trace],
+    l1_bytes: int,
+    l2_bytes: int = 0,
+    fractions: Sequence[float] = (0.0, 0.1, 0.25, 0.5, 0.75),
+    scale: Optional[float] = None,
+) -> Series:
+    """Measured miss rates across warmup fractions.
+
+    The curve flattens once cold misses are out of the counted window —
+    the justification for the DESIGN.md §5 warmup substitution.
+    """
+    trace = get_trace(workload, scale) if isinstance(workload, str) else workload
+    rows = []
+    for fraction in fractions:
+        stats = simulate_hierarchy(
+            trace, l1_bytes, l2_bytes, 4, warmup_fraction=fraction
+        )
+        rows.append(
+            (fraction, stats.l1_miss_rate, stats.global_miss_rate)
+        )
+    return Series(
+        name=f"{trace.name} warmup sensitivity",
+        columns=("warmup_fraction", "l1_miss_rate", "global_miss_rate"),
+        rows=tuple(rows),
+    )

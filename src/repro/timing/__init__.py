@@ -1,0 +1,41 @@
+"""Analytical SRAM access/cycle-time model (Wada / Wilton–Jouppi style).
+
+The paper computes cache cycle times with the Wilton–Jouppi extension
+(WRL 93/5, the CACTI precursor) of Wada's analytical model: per-stage
+RC delays through decoder, wordline, bitline, sense amplifier, tag
+comparator, multiplexor driver and output driver, minimised over memory
+array organisations, at 0.8 µm, then scaled ×0.5 for a 0.5 µm process.
+
+This package implements the same structure.  The technology constants
+(:mod:`repro.timing.technology`) are *representative* 0.8 µm CMOS values
+calibrated so the resulting curves land where the paper's Figure 1
+does — ~1.7 ns access / ~2 ns cycle for a 1 KB direct-mapped cache and
+an ≈2× cycle-time spread up to 256 KB at 0.5 µm (see DESIGN.md §2 for
+the substitution note).
+
+Public API
+----------
+:func:`~repro.timing.optimal.optimal_timing`
+    Minimum access/cycle time over array organisations (memoised).
+:class:`~repro.timing.model.TimingResult`
+    Per-stage breakdown for one organisation.
+:class:`~repro.timing.technology.Technology`
+    Technology constants; ``Technology.scaled(0.5)`` gives the paper's
+    0.5 µm operating point.
+"""
+
+from .model import TimingResult, access_and_cycle_time
+from .optimal import optimal_timing
+from .organization import ArrayOrganization, enumerate_organizations
+from .technology import TECH_05UM, TECH_08UM, Technology
+
+__all__ = [
+    "Technology",
+    "TECH_08UM",
+    "TECH_05UM",
+    "ArrayOrganization",
+    "enumerate_organizations",
+    "TimingResult",
+    "access_and_cycle_time",
+    "optimal_timing",
+]

@@ -1,0 +1,160 @@
+"""Access and cycle time of one cache organisation.
+
+Read-path structure (Wada / Wilton–Jouppi):
+
+* **data side** — decoder → word line → bit line → sense amplifier;
+* **tag side** — (smaller) decoder → word line → bit line → sense
+  amplifier → comparator, plus the output multiplexor driver when the
+  cache is set-associative (the tag match must select the data way);
+* the two sides proceed in parallel; the slower one gates the shared
+  **output driver**.
+
+The cycle time adds the bit-line restore (precharge) interval of the
+slower-recovering array, i.e. the minimum spacing between the start of
+two successive accesses — the quantity the paper uses to set the
+processor clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..cache.geometry import CacheGeometry
+from .organization import (
+    ArrayOrganization,
+    data_array_shape,
+    tag_array_shape,
+    tag_bits_per_entry,
+)
+from .stages import (
+    RC_UNIT_NS,
+    bitline_rc,
+    chain_delay,
+    comparator_rc,
+    decoder_chain,
+    mux_driver_rc,
+    output_driver_rc,
+    precharge_time,
+    way_select_rc,
+    wordline_rc,
+)
+from .technology import Technology
+
+__all__ = ["TimingResult", "access_and_cycle_time"]
+
+#: Bits delivered per array access (8 bytes, per the paper's refill
+#: model: a 16-byte line moves as two 8-byte transfers).
+OUTPUT_BITS = 64
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Access/cycle times (ns) and per-stage breakdown for one layout."""
+
+    geometry: CacheGeometry
+    organization: ArrayOrganization
+    access_ns: float
+    cycle_ns: float
+    data_side_ns: float
+    tag_side_ns: float
+    breakdown: Dict[str, float]
+
+    def __post_init__(self) -> None:
+        if self.cycle_ns < self.access_ns:
+            raise ValueError("cycle time cannot be below access time")
+
+
+def access_and_cycle_time(
+    geometry: CacheGeometry,
+    organization: ArrayOrganization,
+    tech: Technology,
+) -> TimingResult:
+    """Evaluate one (geometry, organisation) pair under ``tech``.
+
+    Raises
+    ------
+    ModelError
+        If the organisation is infeasible for the geometry.
+    """
+    scale = tech.time_scale
+    breakdown: Dict[str, float] = {}
+
+    # ----- data side ---------------------------------------------------
+    d_rows, d_cols = data_array_shape(
+        geometry, organization.ndwl, organization.ndbl, organization.nspd
+    )
+    total_data_cols = d_cols * organization.ndwl
+    data_mux_ways = max(1, total_data_cols // OUTPUT_BITS)
+    d_chain = decoder_chain(tech, d_rows, organization.data_subarrays)
+    d_wl = wordline_rc(tech, d_cols)
+    d_bl = bitline_rc(tech, d_rows, data_mux_ways)
+    d_chain = d_chain.extended("data wordline", d_wl).extended("data bitline", d_bl)
+    data_side = chain_delay(tech, d_chain) + tech.t_sense_data * scale
+    for name, rc in zip(d_chain.names, d_chain.rcs):
+        breakdown[f"data {name}" if "data" not in name else name] = (
+            tech.rc_to_delay * rc * scale * RC_UNIT_NS
+        )
+    breakdown["data sense amp"] = tech.t_sense_data * scale
+
+    # ----- tag side ----------------------------------------------------
+    t_rows, t_cols = tag_array_shape(
+        geometry, organization.ntwl, organization.ntbl, organization.ntspd
+    )
+    tag_mux_ways = max(1, organization.ntspd)
+    t_chain = decoder_chain(tech, t_rows, organization.tag_subarrays)
+    t_wl = wordline_rc(tech, t_cols)
+    t_bl = bitline_rc(tech, t_rows, tag_mux_ways)
+    t_chain = t_chain.extended("tag wordline", t_wl).extended("tag bitline", t_bl)
+    tag_side = chain_delay(tech, t_chain) + tech.t_sense_tag * scale
+    compare = tech.rc_to_delay * RC_UNIT_NS * comparator_rc(
+        tech, tag_bits_per_entry(geometry)
+    )
+    tag_side += compare * scale
+    breakdown["tag path"] = chain_delay(tech, t_chain)
+    breakdown["tag sense amp"] = tech.t_sense_tag * scale
+    breakdown["comparator"] = compare * scale
+    if not geometry.is_direct_mapped:
+        mux = tech.rc_to_delay * RC_UNIT_NS * mux_driver_rc(
+            tech, OUTPUT_BITS, geometry.associativity
+        )
+        tag_side += mux * scale
+        breakdown["mux driver"] = mux * scale
+
+    # ----- shared output path -------------------------------------------
+    out = (
+        tech.rc_to_delay * RC_UNIT_NS * output_driver_rc(tech)
+        + tech.t_output_intrinsic
+    ) * scale
+    breakdown["output driver"] = out
+
+    if geometry.is_direct_mapped:
+        # The data array drives the output as soon as it is sensed; the
+        # tag comparison proceeds in parallel and only validates the
+        # result, so it is rarely critical.
+        access = max(data_side + out, tag_side)
+    else:
+        # Set-associative: the output driver cannot fire until the tag
+        # match has selected a way, and the selected data must traverse
+        # the way mux in series.
+        way_mux = (
+            tech.rc_to_delay * RC_UNIT_NS * way_select_rc(tech, geometry.associativity)
+        ) * scale
+        breakdown["way select"] = way_mux
+        access = max(data_side, tag_side) + way_mux + out
+
+    # ----- cycle time ----------------------------------------------------
+    d_pre = precharge_time(tech, d_rows, d_wl)
+    t_pre = precharge_time(tech, t_rows, t_wl)
+    cycle = access + max(d_pre, t_pre)
+    breakdown["precharge"] = max(d_pre, t_pre)
+
+    return TimingResult(
+        geometry=geometry,
+        organization=organization,
+        access_ns=access,
+        cycle_ns=cycle,
+        data_side_ns=data_side,
+        tag_side_ns=tag_side,
+        breakdown=breakdown,
+    )

@@ -1,0 +1,71 @@
+"""Organisation search: the fastest layout for each cache geometry.
+
+The paper always organised each memory "to give the highest
+performance": the model iterates over all feasible array organisations
+and keeps the one with the minimum cycle time (ties broken by access
+time, then by fewest subarrays, which is also the cheapest in area).
+Results are memoised — the design-space sweeps ask for the same handful
+of geometries thousands of times.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+from ..cache.geometry import DEFAULT_LINE_SIZE, CacheGeometry
+from .model import TimingResult, access_and_cycle_time
+from .organization import enumerate_organizations
+from .technology import TECH_05UM, Technology
+
+__all__ = ["optimal_timing"]
+
+
+@lru_cache(maxsize=4096)
+def _optimal_timing_cached(
+    size_bytes: int, line_size: int, associativity: int, tech: Technology
+) -> TimingResult:
+    geometry = CacheGeometry(
+        size_bytes, line_size=line_size, associativity=associativity
+    )
+    best: Optional[TimingResult] = None
+    best_key = None
+    for organization in enumerate_organizations(geometry):
+        result = access_and_cycle_time(geometry, organization, tech)
+        key = (
+            result.cycle_ns,
+            result.access_ns,
+            organization.data_subarrays + organization.tag_subarrays,
+        )
+        if best_key is None or key < best_key:
+            best = result
+            best_key = key
+    assert best is not None  # enumerate_organizations raises if empty
+    return best
+
+
+def optimal_timing(
+    size_bytes: int,
+    associativity: int = 1,
+    line_size: int = DEFAULT_LINE_SIZE,
+    tech: Technology = TECH_05UM,
+) -> TimingResult:
+    """Fastest access/cycle times for a cache of ``size_bytes``.
+
+    Parameters
+    ----------
+    size_bytes:
+        Data capacity (power of two).
+    associativity:
+        Ways per set (1 or 4 in the paper).
+    line_size:
+        Line size in bytes (16 in the paper).
+    tech:
+        Technology point; defaults to the paper's scaled 0.5 µm process.
+
+    Returns
+    -------
+    TimingResult
+        The minimum-cycle-time organisation and its breakdown.
+    """
+    return _optimal_timing_cached(size_bytes, line_size, associativity, tech)

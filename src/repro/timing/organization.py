@@ -1,0 +1,159 @@
+"""Memory array organisation parameters (Ndwl/Ndbl/Nspd and tag twins).
+
+Following Wada's formulation, a cache data array of capacity ``C`` bytes
+with ``B``-byte lines and associativity ``A`` can be laid out many ways:
+
+* ``ndwl`` — number of times the word line is split (columns divided
+  among ``ndwl`` subarrays);
+* ``ndbl`` — number of times the bit line is split (rows divided among
+  ``ndbl`` subarrays);
+* ``nspd`` — number of sets mapped to one physical word line (trades
+  more columns for fewer rows).
+
+Rows per subarray = ``C / (B·A·ndbl·nspd)``; columns per subarray =
+``8·B·A·nspd / ndwl``.  The tag array has its own independent triple.
+The model evaluates every feasible organisation and keeps the fastest —
+exactly how the paper always "organised the memories to give the
+highest performance".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..errors import ModelError
+from ..units import is_pow2
+from ..cache.geometry import CacheGeometry
+
+__all__ = [
+    "ArrayOrganization",
+    "data_array_shape",
+    "tag_array_shape",
+    "tag_bits_per_entry",
+    "enumerate_organizations",
+]
+
+#: Largest split factor explored in any dimension.
+_MAX_SPLIT = 16
+
+#: Physical address width assumed for tag sizing (the paper's machines
+#: were 32-bit with physically-addressed caches).
+ADDRESS_BITS = 32
+
+#: Status bits per tag entry: valid + dirty.
+STATUS_BITS = 2
+
+
+@dataclass(frozen=True)
+class ArrayOrganization:
+    """One candidate layout of the data and tag arrays."""
+
+    ndwl: int
+    ndbl: int
+    nspd: int
+    ntwl: int
+    ntbl: int
+    ntspd: int
+
+    def __post_init__(self) -> None:
+        for value in (self.ndwl, self.ndbl, self.nspd, self.ntwl, self.ntbl, self.ntspd):
+            if not is_pow2(value):
+                raise ModelError("organisation parameters must be powers of two")
+
+    @property
+    def data_subarrays(self) -> int:
+        """Number of physical data subarrays."""
+        return self.ndwl * self.ndbl
+
+    @property
+    def tag_subarrays(self) -> int:
+        """Number of physical tag subarrays."""
+        return self.ntwl * self.ntbl
+
+
+def data_array_shape(
+    geometry: CacheGeometry, ndwl: int, ndbl: int, nspd: int
+) -> Tuple[int, int]:
+    """(rows, columns) of one data subarray, or raise if infeasible."""
+    denom = geometry.line_size * geometry.associativity * ndbl * nspd
+    if geometry.size_bytes % denom:
+        raise ModelError("rows not integral")
+    rows = geometry.size_bytes // denom
+    cols_num = 8 * geometry.line_size * geometry.associativity * nspd
+    if cols_num % ndwl:
+        raise ModelError("columns not integral")
+    cols = cols_num // ndwl
+    if rows < 1 or cols < 1:
+        raise ModelError("degenerate subarray")
+    return rows, cols
+
+
+def tag_bits_per_entry(geometry: CacheGeometry) -> int:
+    """Tag width (address tag + status bits) for one cache line."""
+    index_bits = geometry.n_sets.bit_length() - 1
+    offset_bits = geometry.line_size.bit_length() - 1
+    tag_bits = ADDRESS_BITS - index_bits - offset_bits
+    if tag_bits <= 0:
+        raise ModelError("cache too large for the address space")
+    return tag_bits + STATUS_BITS
+
+
+def tag_array_shape(
+    geometry: CacheGeometry, ntwl: int, ntbl: int, ntspd: int
+) -> Tuple[int, int]:
+    """(rows, columns) of one tag subarray, or raise if infeasible."""
+    n_sets = geometry.n_sets
+    if n_sets % (ntbl * ntspd):
+        raise ModelError("tag rows not integral")
+    rows = n_sets // (ntbl * ntspd)
+    cols_num = tag_bits_per_entry(geometry) * geometry.associativity * ntspd
+    if cols_num % ntwl:
+        raise ModelError("tag columns not integral")
+    cols = cols_num // ntwl
+    if rows < 1 or cols < 1:
+        raise ModelError("degenerate tag subarray")
+    return rows, cols
+
+
+def _splits() -> List[int]:
+    values = []
+    split = 1
+    while split <= _MAX_SPLIT:
+        values.append(split)
+        split *= 2
+    return values
+
+
+def enumerate_organizations(geometry: CacheGeometry) -> Iterator[ArrayOrganization]:
+    """Yield every feasible organisation for ``geometry``.
+
+    Feasibility requires integral subarray shapes and at least two rows
+    and eight columns per subarray (a subarray thinner than that has no
+    sensible physical layout and would distort the periphery model).
+    """
+    data_candidates = []
+    for ndwl in _splits():
+        for ndbl in _splits():
+            for nspd in _splits():
+                try:
+                    rows, cols = data_array_shape(geometry, ndwl, ndbl, nspd)
+                except ModelError:
+                    continue
+                if rows >= 2 and cols >= 8:
+                    data_candidates.append((ndwl, ndbl, nspd))
+    tag_candidates = []
+    for ntwl in _splits():
+        for ntbl in _splits():
+            for ntspd in _splits():
+                try:
+                    rows, cols = tag_array_shape(geometry, ntwl, ntbl, ntspd)
+                except ModelError:
+                    continue
+                if rows >= 2 and cols >= 8:
+                    tag_candidates.append((ntwl, ntbl, ntspd))
+    if not data_candidates or not tag_candidates:
+        raise ModelError(f"no feasible organisation for {geometry}")
+    for ndwl, ndbl, nspd in data_candidates:
+        for ntwl, ntbl, ntspd in tag_candidates:
+            yield ArrayOrganization(ndwl, ndbl, nspd, ntwl, ntbl, ntspd)

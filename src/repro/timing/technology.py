@@ -1,0 +1,123 @@
+"""Technology constants for the SRAM timing model.
+
+The constants describe a representative 0.8 µm CMOS process of the
+paper's era.  Wire capacitances per memory cell follow the values
+published with the Wada/Wilton–Jouppi models (word line ≈ 1.8 fF and
+bit line ≈ 4.4 fF of metal per cell); transistor parameters are
+round-number 0.8 µm values.  Where WRL 93/5 used SPICE-fitted numbers
+we cannot reproduce exactly (sense amplifiers, drivers, swing
+fractions), the constants were calibrated so that the optimised access and
+cycle times land in the range of the paper's Figure 1 (see
+``tests/test_timing_calibration.py``).
+
+Units: capacitance in fF, resistance in kΩ, time in ns (so R·C is
+directly in ns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["Technology", "TECH_08UM", "TECH_05UM"]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Electrical constants consumed by :mod:`repro.timing.stages`.
+
+    ``time_scale`` multiplies every computed delay; the paper scales its
+    0.8 µm results by 0.5 to approximate a high-performance 0.5 µm
+    process, which is expressed here as ``TECH_08UM.scaled(0.5)``.
+    """
+
+    name: str
+
+    # --- transistors -------------------------------------------------
+    #: On-resistance of a 1 µm wide NMOS device (kΩ·µm / µm width).
+    r_nmos_per_um: float = 9.0
+    #: PMOS on-resistance penalty relative to NMOS.
+    pmos_ratio: float = 2.0
+    #: Gate capacitance per µm of transistor width (fF/µm).
+    c_gate_per_um: float = 2.0
+    #: Source/drain diffusion capacitance per µm of width (fF/µm).
+    c_diff_per_um: float = 1.0
+
+    # --- memory cell and array wiring --------------------------------
+    #: Word-line metal capacitance per cell along a row (fF).
+    c_word_wire_per_cell: float = 1.8
+    #: Bit-line metal capacitance per cell along a column (fF).
+    c_bit_wire_per_cell: float = 4.4
+    #: Word-line metal resistance per cell (kΩ).
+    r_word_wire_per_cell: float = 0.0006
+    #: Bit-line metal resistance per cell (kΩ).
+    r_bit_wire_per_cell: float = 0.0003
+    #: Width of one cell's pass transistor (µm); two gates load each
+    #: word line per cell, and one diffusion loads each bit line.
+    pass_transistor_um: float = 0.8
+    #: Width of the cell pull-down discharging the bit line (µm).
+    cell_pulldown_um: float = 0.6
+
+    # --- peripheral transistor sizings (µm) ---------------------------
+    address_driver_um: float = 30.0
+    predecode_gate_um: float = 4.0
+    final_decode_gate_um: float = 3.0
+    wordline_driver_um: float = 24.0
+    mux_driver_um: float = 16.0
+    output_driver_um: float = 48.0
+    comparator_pulldown_um: float = 6.0
+    precharge_um: float = 12.0
+
+    # --- fixed stage delays (ns) --------------------------------------
+    #: Data-side sense amplifier delay (calibrated; see module docstring).
+    t_sense_data: float = 1.40
+    #: Tag-side sense amplifier delay (calibrated; see module docstring).
+    t_sense_tag: float = 0.70
+    #: Output pad/bus driver intrinsic delay.
+    t_output_intrinsic: float = 1.20
+
+    # --- global -------------------------------------------------------
+    #: Fraction of an RC time constant counted as stage delay (0.69 for
+    #: a 50 % swing of a single pole).
+    rc_to_delay: float = 0.69
+    #: How much of the driving stage's RC shows up as input-slope
+    #: penalty in the driven stage (simplified Horowitz coupling).
+    slope_coupling: float = 0.25
+    #: Global multiplier applied to all delays (process scaling).
+    time_scale: float = 1.0
+
+    def r_nmos(self, width_um: float) -> float:
+        """On-resistance (kΩ) of an NMOS of ``width_um``."""
+        return self.r_nmos_per_um / width_um
+
+    def r_pmos(self, width_um: float) -> float:
+        """On-resistance (kΩ) of a PMOS of ``width_um``."""
+        return self.pmos_ratio * self.r_nmos_per_um / width_um
+
+    def c_gate(self, width_um: float) -> float:
+        """Gate capacitance (fF) of a device of ``width_um``."""
+        return self.c_gate_per_um * width_um
+
+    def c_diff(self, width_um: float) -> float:
+        """Diffusion capacitance (fF) of a device of ``width_um``."""
+        return self.c_diff_per_um * width_um
+
+    def scaled(self, factor: float, name: str = "") -> "Technology":
+        """A copy with every delay multiplied by ``factor``.
+
+        This mirrors the paper's approach of scaling the 0.8 µm results
+        to a 0.5 µm process by multiplying times by 0.5.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            name=name or f"{self.name}*{factor}",
+            time_scale=self.time_scale * factor,
+        )
+
+
+#: Representative 0.8 µm process (the model's native operating point).
+TECH_08UM = Technology(name="0.8um")
+
+#: The paper's 0.5 µm operating point: all 0.8 µm delays halved.
+TECH_05UM = TECH_08UM.scaled(0.5, name="0.5um")

@@ -1,0 +1,41 @@
+"""Synthetic memory-reference traces standing in for the paper's SPEC89 traces.
+
+The original study consumed address traces of gcc1, espresso, fpppp,
+doduc, li, eqntott, and tomcatv captured on a DECStation 5000 (Table 1 of
+the paper).  Those traces are not available, so this package provides a
+deterministic synthetic workload model per benchmark (see
+:mod:`repro.traces.workloads`), calibrated so that the miss-rate-vs-size
+curves — the only property the study consumes — have the shapes the
+paper reports.  See DESIGN.md §2 for the substitution rationale.
+
+Public API
+----------
+:class:`~repro.traces.address.Trace`
+    An immutable instruction + data reference stream.
+:class:`~repro.traces.workloads.WorkloadSpec` and
+:data:`~repro.traces.workloads.WORKLOADS`
+    The seven calibrated workload models.
+:func:`~repro.traces.store.get_trace`
+    Memoised trace generation (`REPRO_TRACE_SCALE` aware).
+:class:`~repro.traces.stats.TraceStats`
+    Summary statistics used by the Table 1 reproduction.
+"""
+
+from .address import Trace
+from .stats import TraceStats, compute_stats
+from .store import clear_trace_cache, default_scale, get_trace
+from .synthetic import SyntheticWorkload
+from .workloads import WORKLOADS, WorkloadSpec, workload_names
+
+__all__ = [
+    "Trace",
+    "TraceStats",
+    "compute_stats",
+    "SyntheticWorkload",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "workload_names",
+    "get_trace",
+    "default_scale",
+    "clear_trace_cache",
+]

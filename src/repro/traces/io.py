@@ -1,0 +1,154 @@
+"""Trace file I/O: save/load traces and import ``din``-format traces.
+
+Two formats are supported:
+
+* **npz** — the library's native round-trip format (numpy arrays plus
+  the workload name), compact and lossless.
+* **din** — the classic Dinero text trace format used by cache studies
+  of the paper's era: one reference per line, ``<label> <hex-address>``
+  with label 0 = data read, 1 = data write, 2 = instruction fetch.
+  Since the paper models writes as reads (§2.2), reads and writes both
+  become data references (the write flag is preserved for the
+  write-traffic extension); instruction fetches define the issue
+  timeline, and data references are attributed to the most recent
+  fetch.
+
+This lets users substitute *real* traces for the synthetic workload
+models without touching any other layer.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from ..errors import TraceError
+from .address import Trace
+
+__all__ = ["save_trace", "load_trace", "read_din", "write_din"]
+
+_DIN_READ = 0
+_DIN_WRITE = 1
+_DIN_FETCH = 2
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` as a compressed ``.npz`` archive."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        name=np.array(trace.name),
+        i_addrs=trace.i_addrs,
+        d_addrs=trace.d_addrs,
+        d_times=trace.d_times,
+        d_is_store=trace.d_is_store,
+    )
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Load a trace previously written by :func:`save_trace`.
+
+    Raises
+    ------
+    TraceError
+        If the archive does not contain the expected arrays.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            name = str(archive["name"])
+            i_addrs = archive["i_addrs"]
+            d_addrs = archive["d_addrs"]
+            d_times = archive["d_times"]
+        except KeyError as missing:
+            raise TraceError(f"{path} is not a trace archive: missing {missing}") from None
+        # Archives written before store flags existed stay loadable.
+        d_is_store = archive["d_is_store"] if "d_is_store" in archive else None
+    return Trace(name, i_addrs, d_addrs, d_times, d_is_store)
+
+
+def _open_text(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def read_din(path: Union[str, Path], name: str = "") -> Trace:
+    """Parse a Dinero ``din`` trace (optionally gzip-compressed).
+
+    Data references that occur before the first instruction fetch are
+    attributed to instruction 0.
+
+    Raises
+    ------
+    TraceError
+        On malformed lines, unknown labels, or a trace with no
+        instruction fetches.
+    """
+    path = Path(path)
+    i_addrs: List[int] = []
+    d_addrs: List[int] = []
+    d_times: List[int] = []
+    d_is_store: List[bool] = []
+    with _open_text(path, "r") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise TraceError(f"{path}:{line_number}: expected 'label address'")
+            try:
+                label = int(parts[0])
+                address = int(parts[1], 16)
+            except ValueError:
+                raise TraceError(
+                    f"{path}:{line_number}: unparsable reference {line!r}"
+                ) from None
+            if label == _DIN_FETCH:
+                i_addrs.append(address)
+            elif label in (_DIN_READ, _DIN_WRITE):
+                # Writes are modelled as reads (fetch-on-write, §2.2);
+                # the flag is kept for write-back accounting.
+                d_addrs.append(address)
+                d_times.append(max(0, len(i_addrs) - 1))
+                d_is_store.append(label == _DIN_WRITE)
+            else:
+                raise TraceError(
+                    f"{path}:{line_number}: unknown din label {label}"
+                )
+    if not i_addrs:
+        raise TraceError(f"{path}: din trace contains no instruction fetches")
+    return Trace(
+        name or path.stem,
+        np.array(i_addrs, dtype=np.int64),
+        np.array(d_addrs, dtype=np.int64),
+        np.array(d_times, dtype=np.int64),
+        np.array(d_is_store, dtype=bool),
+    )
+
+
+def write_din(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` in ``din`` format (gzip if the path ends ``.gz``).
+
+    Data references are emitted as reads immediately after the fetch of
+    the instruction that issued them, preserving the program order the
+    simulators use.
+    """
+    path = Path(path)
+    d_cursor = 0
+    n_data = trace.n_data_refs
+    d_times = trace.d_times
+    with _open_text(path, "w") as handle:
+        buffer = io.StringIO()
+        for cycle, i_addr in enumerate(trace.i_addrs.tolist()):
+            buffer.write(f"{_DIN_FETCH} {i_addr:x}\n")
+            while d_cursor < n_data and d_times[d_cursor] == cycle:
+                label = _DIN_WRITE if trace.d_is_store[d_cursor] else _DIN_READ
+                buffer.write(f"{label} {trace.d_addrs[d_cursor]:x}\n")
+                d_cursor += 1
+        handle.write(buffer.getvalue())

@@ -1,0 +1,234 @@
+"""The seven calibrated SPEC89-like workload models.
+
+Each :class:`WorkloadSpec` stands in for one benchmark from the paper's
+Table 1.  The parameters were calibrated (see ``tests/test_calibration``
+and EXPERIMENTS.md) so that the combined L1 miss-rate curves reproduce
+the anchors and qualitative behaviours the paper reports:
+
+======== ===========================================================
+gcc1     code-heavy, miss rate falls steadily up to ~128 KB
+espresso tiny working set, ~0.0100 at 32 KB, little to gain beyond
+fpppp    very long basic blocks, large code footprint (wins at 64 KB+)
+doduc    numeric mix, moderate code + data footprints
+li       pointer-chasing lisp interpreter, mid-size working set
+eqntott  low miss rate ~0.0149 at 32 KB, small code, skewed data
+tomcatv  streaming vector code, ~0.109 at 32 KB and nearly flat
+======== ===========================================================
+
+The ``paper_instruction_refs`` / ``paper_data_refs`` fields carry the
+original Table 1 reference counts (in millions) so the Table 1
+reproduction can show the original scale next to the synthetic one.
+Data-reference ratios follow Table 1 exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..errors import TraceError
+from ..units import kb
+from .synthetic import (
+    InstructionModel,
+    StreamComponent,
+    SyntheticWorkload,
+    ZipfComponent,
+)
+
+__all__ = ["WorkloadSpec", "WORKLOADS", "workload_names", "get_workload"]
+
+#: Instructions generated at trace scale 1.0.
+BASE_INSTRUCTIONS = 1_000_000
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named synthetic stand-in for one of the paper's benchmarks."""
+
+    name: str
+    description: str
+    #: Millions of instruction references in the paper's original trace.
+    paper_instruction_refs: float
+    #: Millions of data references in the paper's original trace.
+    paper_data_refs: float
+    instructions: InstructionModel
+    data_components: Sequence[object]
+    data_ratio: float
+    #: Fraction of data references that are stores (feeds the
+    #: write-traffic extension; miss behaviour is unaffected, §2.2).
+    store_fraction: float = 0.35
+
+    @property
+    def paper_total_refs(self) -> float:
+        """Millions of total references in the original trace (Table 1)."""
+        return self.paper_instruction_refs + self.paper_data_refs
+
+    def build(self) -> SyntheticWorkload:
+        """Instantiate the generator for this workload."""
+        return SyntheticWorkload(
+            name=self.name,
+            instructions=self.instructions,
+            data_components=self.data_components,
+            data_ratio=self.data_ratio,
+            store_fraction=self.store_fraction,
+        )
+
+
+def _spec(
+    name: str,
+    description: str,
+    paper_i: float,
+    paper_d: float,
+    code_kb: int,
+    function_instructions: int,
+    code_exponent: float,
+    data_components: Sequence[object],
+    store_fraction: float = 0.35,
+) -> WorkloadSpec:
+    footprint = kb(code_kb)
+    n_functions = max(1, footprint // (function_instructions * 4))
+    return WorkloadSpec(
+        name=name,
+        description=description,
+        paper_instruction_refs=paper_i,
+        paper_data_refs=paper_d,
+        instructions=InstructionModel(
+            footprint_bytes=footprint,
+            n_functions=n_functions,
+            exponent=code_exponent,
+        ),
+        data_components=tuple(data_components),
+        data_ratio=paper_d / paper_i,
+        store_fraction=store_fraction,
+    )
+
+
+def _build_catalog() -> Dict[str, WorkloadSpec]:
+    specs: List[WorkloadSpec] = [
+        _spec(
+            "gcc1",
+            "GNU C compiler: large code footprint, diverse data",
+            22.7,
+            7.2,
+            code_kb=96,
+            function_instructions=48,
+            code_exponent=1.55,
+            store_fraction=0.35,
+            data_components=[
+                ZipfComponent(weight=0.35, footprint_bytes=kb(4), exponent=2.0),
+                ZipfComponent(weight=0.60, footprint_bytes=kb(224), exponent=1.55),
+                StreamComponent(weight=0.05, n_arrays=2, array_bytes=kb(64)),
+            ],
+        ),
+        _spec(
+            "espresso",
+            "logic minimiser: small, hot working set",
+            135.3,
+            31.8,
+            code_kb=24,
+            function_instructions=64,
+            code_exponent=1.75,
+            store_fraction=0.25,
+            data_components=[
+                ZipfComponent(weight=0.55, footprint_bytes=kb(2), exponent=2.0),
+                ZipfComponent(weight=0.45, footprint_bytes=kb(512), exponent=1.3),
+            ],
+        ),
+        _spec(
+            "fpppp",
+            "quantum chemistry: enormous basic blocks",
+            244.1,
+            136.2,
+            code_kb=192,
+            function_instructions=1024,
+            code_exponent=1.35,
+            store_fraction=0.45,
+            data_components=[
+                ZipfComponent(weight=0.50, footprint_bytes=kb(8), exponent=1.9),
+                ZipfComponent(weight=0.50, footprint_bytes=kb(160), exponent=1.55),
+            ],
+        ),
+        _spec(
+            "doduc",
+            "Monte-Carlo nuclear reactor model: numeric mix",
+            283.6,
+            108.2,
+            code_kb=64,
+            function_instructions=128,
+            code_exponent=1.45,
+            store_fraction=0.40,
+            data_components=[
+                ZipfComponent(weight=0.45, footprint_bytes=kb(8), exponent=1.9),
+                ZipfComponent(weight=0.45, footprint_bytes=kb(160), exponent=1.5),
+                StreamComponent(weight=0.10, n_arrays=2, array_bytes=kb(96)),
+            ],
+        ),
+        _spec(
+            "li",
+            "lisp interpreter: pointer chasing over the heap",
+            1247.1,
+            452.8,
+            code_kb=32,
+            function_instructions=32,
+            code_exponent=1.6,
+            store_fraction=0.42,
+            data_components=[
+                ZipfComponent(weight=0.45, footprint_bytes=kb(4), exponent=2.0),
+                ZipfComponent(weight=0.55, footprint_bytes=kb(160), exponent=1.5),
+            ],
+        ),
+        _spec(
+            "eqntott",
+            "truth-table generator: tiny code, skewed data",
+            1484.7,
+            293.6,
+            code_kb=8,
+            function_instructions=96,
+            code_exponent=1.7,
+            store_fraction=0.12,
+            data_components=[
+                ZipfComponent(weight=0.50, footprint_bytes=kb(2), exponent=2.0),
+                ZipfComponent(weight=0.35, footprint_bytes=kb(192), exponent=1.6),
+                StreamComponent(weight=0.15, n_arrays=1, array_bytes=kb(192)),
+            ],
+        ),
+        _spec(
+            "tomcatv",
+            "vectorised mesh generation: streaming array sweeps",
+            1986.3,
+            963.6,
+            code_kb=4,
+            function_instructions=256,
+            code_exponent=1.5,
+            store_fraction=0.40,
+            data_components=[
+                StreamComponent(weight=0.62, n_arrays=7, array_bytes=kb(256)),
+                ZipfComponent(weight=0.38, footprint_bytes=kb(24), exponent=1.7),
+            ],
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+#: Catalog of the seven workload models, keyed by benchmark name.
+WORKLOADS: Dict[str, WorkloadSpec] = _build_catalog()
+
+
+def workload_names() -> List[str]:
+    """The seven benchmark names in the paper's Table 1 order."""
+    return list(WORKLOADS.keys())
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload spec by name.
+
+    Raises
+    ------
+    TraceError
+        If ``name`` is not one of the seven benchmarks.
+    """
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(WORKLOADS)
+        raise TraceError(f"unknown workload {name!r}; known: {known}") from None

@@ -1,0 +1,121 @@
+"""Units and small numeric helpers shared across the library.
+
+The paper works in three unit systems:
+
+* **bytes / kilobytes** for cache capacities (all powers of two),
+* **nanoseconds** for access, cycle, and off-chip service times,
+* **register-bit equivalents (rbe)** for silicon area, after Mulder,
+  Quach and Flynn.
+
+This module centralises conversions and the power-of-two arithmetic used
+throughout the cache, timing, and area models.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import GeometryError
+
+__all__ = [
+    "KB",
+    "kb",
+    "to_kb",
+    "is_pow2",
+    "log2_int",
+    "ceil_div",
+    "round_up_to_multiple",
+    "fmt_size",
+]
+
+#: Number of bytes in a kilobyte (binary, as the paper uses).
+KB: int = 1024
+
+
+def kb(n: float) -> int:
+    """Return ``n`` kilobytes expressed in bytes.
+
+    >>> kb(4)
+    4096
+    """
+    value = n * KB
+    result = int(value)
+    if result != value:
+        raise GeometryError(f"{n} KB is not a whole number of bytes")
+    return result
+
+
+def to_kb(nbytes: int) -> float:
+    """Return ``nbytes`` expressed in kilobytes.
+
+    >>> to_kb(8192)
+    8.0
+    """
+    return nbytes / KB
+
+
+def is_pow2(n: int) -> bool:
+    """Return True if ``n`` is a positive power of two.
+
+    >>> is_pow2(64), is_pow2(0), is_pow2(3)
+    (True, False, False)
+    """
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_int(n: int) -> int:
+    """Return log2 of a power-of-two integer, raising otherwise.
+
+    >>> log2_int(1024)
+    10
+    """
+    if not is_pow2(n):
+        raise GeometryError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``.
+
+    >>> ceil_div(7, 2)
+    4
+    """
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return -(-a // b)
+
+
+def round_up_to_multiple(value: float, quantum: float) -> float:
+    """Round ``value`` up to the next multiple of ``quantum``.
+
+    This implements the paper's quantisation rule: the L2 cycle time and
+    the off-chip service time are both "rounded to the next higher
+    multiple of the L1 cycle time".  Values already on a multiple are
+    left unchanged (a small relative tolerance absorbs floating-point
+    noise).
+
+    >>> round_up_to_multiple(4.1, 2.0)
+    6.0
+    >>> round_up_to_multiple(4.0, 2.0)
+    4.0
+    """
+    if quantum <= 0:
+        raise ValueError("quantum must be positive")
+    if value <= 0:
+        return 0.0
+    ratio = value / quantum
+    n = math.ceil(ratio - 1e-9)
+    return n * quantum
+
+
+def fmt_size(nbytes: int) -> str:
+    """Format a byte count the way the paper labels points, e.g. ``32K``.
+
+    >>> fmt_size(32768)
+    '32K'
+    >>> fmt_size(512)
+    '512B'
+    """
+    if nbytes >= KB and nbytes % KB == 0:
+        return f"{nbytes // KB}K"
+    return f"{nbytes}B"

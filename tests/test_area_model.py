@@ -1,0 +1,101 @@
+"""rbe area model: anchors, monotonicity, porting, organisation cost."""
+
+import pytest
+
+from repro.area.model import cache_area, optimal_cache_area
+from repro.area.rbe import RBE_PER_COMPARATOR, RBE_PER_SRAM_BIT
+from repro.cache.geometry import CacheGeometry
+from repro.errors import ModelError
+from repro.timing.optimal import optimal_timing
+from repro.timing.organization import ArrayOrganization
+from repro.units import kb
+
+SIZES = [kb(k) for k in (1, 2, 4, 8, 16, 32, 64, 128, 256)]
+
+
+class TestPublishedConstants:
+    def test_sram_cell_is_0_6_rbe(self):
+        assert RBE_PER_SRAM_BIT == 0.6
+
+    def test_comparator_is_six_cells(self):
+        """The paper: 'a comparator only occupies 6x0.6 rbe's'."""
+        assert RBE_PER_COMPARATOR == pytest.approx(3.6)
+
+
+class TestCacheArea:
+    def _area(self, size, assoc=1, ports=1):
+        return optimal_cache_area(size, associativity=assoc, ports=ports)
+
+    def test_data_cells_dominate_large_caches(self):
+        area = self._area(kb(256))
+        assert area.cell_fraction > 0.9
+
+    def test_small_caches_pay_big_periphery(self):
+        area = self._area(kb(1))
+        assert area.cell_fraction < 0.75
+
+    def test_data_cell_area_exact(self):
+        g = CacheGeometry(kb(4))
+        org = optimal_timing(kb(4)).organization
+        area = cache_area(g, org)
+        assert area.data_cells == pytest.approx(kb(4) * 8 * 0.6)
+
+    def test_monotonic_in_size(self):
+        totals = [self._area(size).total for size in SIZES]
+        assert all(a < b for a, b in zip(totals, totals[1:]))
+
+    def test_roughly_linear_at_large_sizes(self):
+        a128, a256 = self._area(kb(128)).total, self._area(kb(256)).total
+        assert 1.8 < a256 / a128 < 2.2
+
+    def test_dual_port_near_double(self):
+        """§6: 'A cache with two ports typically requires twice the area'."""
+        for size in (kb(4), kb(32), kb(256)):
+            single = self._area(size).total
+            double = self._area(size, ports=2).total
+            assert 1.6 <= double / single <= 2.1
+
+    def test_set_associativity_costs_little(self):
+        """§5: comparators are small next to data/tag arrays."""
+        for size in (kb(16), kb(256)):
+            dm = self._area(size).total
+            sa = self._area(size, assoc=4).total
+            assert 0.95 < sa / dm < 1.2
+
+    def test_figure1_axis_anchors(self):
+        """Fig 1's X axis: a pair of 1 KB L1s near 2e4 rbe, a pair of
+        256 KB near 3e6 rbe."""
+        pair_1k = 2 * self._area(kb(1)).total
+        pair_256k = 2 * self._area(kb(256)).total
+        assert 1.2e4 <= pair_1k <= 4e4
+        assert 2e6 <= pair_256k <= 4.5e6
+
+    def test_rejects_bad_ports(self):
+        g = CacheGeometry(kb(4))
+        org = optimal_timing(kb(4)).organization
+        with pytest.raises(ModelError):
+            cache_area(g, org, ports=0)
+
+    def test_more_subarrays_cost_more_area(self):
+        g = CacheGeometry(kb(16))
+        flat = cache_area(g, ArrayOrganization(1, 1, 1, 1, 1, 1))
+        split = cache_area(g, ArrayOrganization(4, 4, 1, 2, 2, 1))
+        assert split.total > flat.total
+
+    def test_breakdown_total_is_sum(self):
+        area = self._area(kb(8))
+        parts = (
+            area.data_cells
+            + area.tag_cells
+            + area.sense_amps
+            + area.column_circuitry
+            + area.row_circuitry
+            + area.decoders
+            + area.comparators
+            + area.output_drivers
+            + area.control
+        )
+        assert area.total == pytest.approx(parts)
+
+    def test_memoised(self):
+        assert optimal_cache_area(kb(8)) is optimal_cache_area(kb(8))

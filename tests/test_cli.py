@@ -1,0 +1,89 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "fig26" in out and "table1" in out
+
+
+class TestRun:
+    def test_runs_scale_free_experiment(self, capsys):
+        assert main(["run", "fig21"]) == 0
+        out = capsys.readouterr().out
+        assert "Exclusion vs. inclusion" in out
+
+    def test_runs_trace_experiment_at_scale(self, capsys):
+        assert main(["run", "table1", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "tomcatv" in out
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["run", "fig99"])
+
+
+class TestEval:
+    def test_eval_two_level(self, capsys):
+        code = main(
+            [
+                "eval",
+                "--workload",
+                "espresso",
+                "--l1-kb",
+                "4",
+                "--l2-kb",
+                "32",
+                "--exclusive",
+                "--scale",
+                "0.02",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exclusive" in out
+        assert "TPI" in out
+
+    def test_eval_single_level_dual_ported(self, capsys):
+        code = main(
+            ["eval", "--l1-kb", "8", "--dual-ported", "--scale", "0.02"]
+        )
+        assert code == 0
+        assert "2-port" in capsys.readouterr().out
+
+
+class TestEnvelope:
+    def test_envelope_output(self, capsys):
+        code = main(
+            ["envelope", "--workload", "espresso", "--scale", "0.02"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1-level" in out
+        assert "config" in out
+
+
+class TestWorkloads:
+    def test_workload_table(self, capsys):
+        assert main(["workloads", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        for name in ("gcc1", "espresso", "fpppp", "tomcatv"):
+            assert name in out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_exits_zero(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,80 @@
+"""SystemConfig validation, labels, derived variants."""
+
+import pytest
+
+from repro.cache.hierarchy import Policy
+from repro.core.config import SystemConfig
+from repro.errors import ConfigurationError, GeometryError
+from repro.units import kb
+
+
+class TestValidation:
+    def test_minimal_single_level(self):
+        config = SystemConfig(l1_bytes=kb(8))
+        assert not config.has_l2
+
+    def test_two_level(self):
+        config = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64))
+        assert config.has_l2
+
+    def test_bad_l1_size(self):
+        with pytest.raises(GeometryError):
+            SystemConfig(l1_bytes=3000)
+
+    def test_bad_l2_shape(self):
+        with pytest.raises(GeometryError):
+            SystemConfig(l1_bytes=kb(1), l2_bytes=48, l2_associativity=4)
+
+    def test_bad_off_chip(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(l1_bytes=kb(1), off_chip_ns=0)
+
+    def test_bad_ports(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(l1_bytes=kb(1), l1_ports=0)
+
+    def test_bad_issue_width(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(l1_bytes=kb(1), issue_width=0)
+
+    def test_exclusive_template_without_l2_is_allowed(self):
+        config = SystemConfig(l1_bytes=kb(1), policy=Policy.EXCLUSIVE)
+        assert not config.has_l2
+
+
+class TestLabelsAndVariants:
+    def test_paper_labels(self):
+        assert SystemConfig(l1_bytes=kb(32), l2_bytes=kb(256)).label == "32:256"
+        assert SystemConfig(l1_bytes=kb(1)).label == "1:0"
+
+    def test_describe_mentions_structure(self):
+        text = SystemConfig(
+            l1_bytes=kb(8), l2_bytes=kb(64), l2_associativity=4
+        ).describe()
+        assert "8K" in text and "64K" in text and "4-way" in text
+
+    def test_describe_direct_mapped_l2(self):
+        text = SystemConfig(
+            l1_bytes=kb(8), l2_bytes=kb(64), l2_associativity=1
+        ).describe()
+        assert "DM" in text
+
+    def test_single_level_strips_l2(self):
+        config = SystemConfig(
+            l1_bytes=kb(8), l2_bytes=kb(64), policy=Policy.EXCLUSIVE
+        )
+        single = config.single_level()
+        assert not single.has_l2
+        assert single.l1_bytes == config.l1_bytes
+        assert single.policy is Policy.CONVENTIONAL
+
+    def test_dual_ported_variant(self):
+        dual = SystemConfig(l1_bytes=kb(8)).dual_ported()
+        assert dual.l1_ports == 2
+        assert dual.issue_width == 2
+
+    def test_config_is_hashable_and_frozen(self):
+        config = SystemConfig(l1_bytes=kb(8))
+        assert hash(config)
+        with pytest.raises(AttributeError):
+            config.l1_bytes = kb(16)  # type: ignore[misc]

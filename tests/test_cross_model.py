@@ -1,0 +1,117 @@
+"""Cross-model consistency: the layers must agree with each other."""
+
+import pytest
+
+from conftest import TINY
+from repro.cache.hierarchy import Policy, simulate_hierarchy
+from repro.core.config import SystemConfig
+from repro.core.envelope import best_envelope, envelope_tpi_at
+from repro.core.evaluate import evaluate, system_area_rbe
+from repro.core.explorer import design_space, sweep
+from repro.core.tpi import compute_tpi, system_timings
+from repro.area.model import optimal_cache_area
+from repro.power.energy import optimal_access_energy
+from repro.timing.optimal import optimal_timing
+from repro.traces.store import get_trace
+from repro.units import kb
+
+
+class TestEvaluateConsistency:
+    def test_evaluate_equals_manual_pipeline(self, gcc1_tiny):
+        """`evaluate` must be exactly simulate → compute_tpi → area."""
+        config = SystemConfig(
+            l1_bytes=kb(4), l2_bytes=kb(32), policy=Policy.EXCLUSIVE
+        )
+        perf = evaluate(config, gcc1_tiny)
+        stats = simulate_hierarchy(
+            gcc1_tiny, kb(4), kb(32), 4, Policy.EXCLUSIVE
+        )
+        assert perf.stats == stats
+        assert perf.tpi_ns == pytest.approx(compute_tpi(config, stats).tpi_ns)
+        assert perf.area_rbe == pytest.approx(system_area_rbe(config))
+
+    def test_evaluate_by_name_uses_store(self):
+        config = SystemConfig(l1_bytes=kb(2))
+        by_name = evaluate(config, "espresso", scale=TINY)
+        by_trace = evaluate(config, get_trace("espresso", TINY))
+        assert by_name.stats == by_trace.stats
+
+    def test_sweep_matches_individual_evaluates(self, gcc1_tiny):
+        configs = design_space(
+            SystemConfig(l1_bytes=kb(1)), l1_sizes=[kb(1), kb(2)], l2_sizes=[0, kb(8)]
+        )
+        swept = sweep("gcc1", configs, scale=TINY)
+        for config, perf in zip(configs, swept):
+            assert perf.tpi_ns == pytest.approx(
+                evaluate(config, "gcc1", scale=TINY).tpi_ns
+            )
+
+
+class TestEnvelopeConsistency:
+    def test_envelope_floor_is_min_of_sweep(self, gcc1_tiny):
+        perfs = sweep("gcc1", design_space(SystemConfig(l1_bytes=kb(1))), scale=TINY)
+        env = best_envelope(perfs)
+        assert env[-1].tpi_ns == pytest.approx(min(p.tpi_ns for p in perfs))
+        assert envelope_tpi_at(env, float("inf")) == pytest.approx(env[-1].tpi_ns)
+
+    def test_every_corner_is_a_swept_point(self, gcc1_tiny):
+        perfs = sweep("gcc1", design_space(SystemConfig(l1_bytes=kb(1))), scale=TINY)
+        env = best_envelope(perfs)
+        swept = {(p.label, round(p.tpi_ns, 9)) for p in perfs}
+        for corner in env:
+            assert (corner.label, round(corner.tpi_ns, 9)) in swept
+
+
+class TestTimingAreaEnergyCoherence:
+    """The three hardware models share geometry and must move together."""
+
+    @pytest.mark.parametrize("size_kb", [1, 16, 256])
+    def test_same_organisation_everywhere(self, size_kb):
+        timing = optimal_timing(kb(size_kb))
+        area = optimal_cache_area(kb(size_kb))
+        energy = optimal_access_energy(kb(size_kb))
+        # Area/energy are computed *for* the timing-optimal layout, so
+        # all three exist and are positive; spot-check coherence by
+        # recomputing area from the same organisation.
+        from repro.area.model import cache_area
+        from repro.cache.geometry import CacheGeometry
+
+        recomputed = cache_area(
+            CacheGeometry(kb(size_kb)), timing.organization
+        )
+        assert recomputed.total == pytest.approx(area.total)
+        assert energy.total > 0
+
+    def test_all_three_grow_with_size(self):
+        sizes = [kb(k) for k in (1, 4, 16, 64, 256)]
+        cycles = [optimal_timing(s).cycle_ns for s in sizes]
+        areas = [optimal_cache_area(s).total for s in sizes]
+        energies = [optimal_access_energy(s).total for s in sizes]
+        for series in (cycles, areas, energies):
+            assert all(a < b for a, b in zip(series, series[1:]))
+
+    def test_timings_quantisation_consistency(self):
+        config = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(128))
+        timings = system_timings(config)
+        assert timings.l2_cycles * timings.l1_cycle_ns == pytest.approx(
+            timings.l2_cycle_ns
+        )
+
+
+class TestMemoisationTransparency:
+    def test_cache_hit_returns_equal_results(self, gcc1_tiny):
+        config = SystemConfig(l1_bytes=kb(2), l2_bytes=kb(16))
+        first = evaluate(config, gcc1_tiny)
+        second = evaluate(config, gcc1_tiny)
+        assert first.stats is second.stats  # memoised
+        assert first.tpi_ns == second.tpi_ns
+
+    def test_policy_variants_not_conflated(self, gcc1_tiny):
+        conv = evaluate(
+            SystemConfig(l1_bytes=kb(2), l2_bytes=kb(8)), gcc1_tiny
+        )
+        excl = evaluate(
+            SystemConfig(l1_bytes=kb(2), l2_bytes=kb(8), policy=Policy.EXCLUSIVE),
+            gcc1_tiny,
+        )
+        assert conv.stats != excl.stats

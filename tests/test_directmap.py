@@ -1,0 +1,103 @@
+"""Vectorised direct-mapped filter vs the reference oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.directmap import NO_VICTIM, direct_mapped_filter
+from repro.cache.reference import reference_direct_mapped_filter
+from repro.errors import GeometryError
+
+
+class TestBasics:
+    def test_empty_stream(self):
+        result = direct_mapped_filter(np.array([], dtype=np.int64), 4)
+        assert result.n_refs == 0
+        assert result.n_misses == 0
+        assert result.miss_rate == 0.0
+
+    def test_single_reference_is_cold_miss(self):
+        result = direct_mapped_filter(np.array([7]), 4)
+        assert result.miss_mask.tolist() == [True]
+        assert result.victims.tolist() == [NO_VICTIM]
+
+    def test_repeat_hits(self):
+        result = direct_mapped_filter(np.array([5, 5, 5]), 4)
+        assert result.miss_mask.tolist() == [True, False, False]
+
+    def test_conflict_evicts_and_reports_victim(self):
+        # lines 1 and 5 share set 1 of a 4-set cache
+        result = direct_mapped_filter(np.array([1, 5, 1]), 4)
+        assert result.miss_mask.tolist() == [True, True, True]
+        assert result.victims.tolist() == [NO_VICTIM, 1, 5]
+
+    def test_distinct_sets_do_not_conflict(self):
+        result = direct_mapped_filter(np.array([0, 1, 2, 3, 0, 1, 2, 3]), 4)
+        assert result.n_misses == 4
+
+    def test_single_set_cache(self):
+        result = direct_mapped_filter(np.array([3, 9, 3]), 1)
+        assert result.miss_mask.tolist() == [True, True, True]
+        assert result.victims.tolist() == [NO_VICTIM, 3, 9]
+
+    def test_rejects_bad_set_count(self):
+        with pytest.raises(GeometryError):
+            direct_mapped_filter(np.array([1]), 0)
+
+    def test_miss_rate(self):
+        result = direct_mapped_filter(np.array([1, 1, 1, 2]), 4)
+        assert result.miss_rate == pytest.approx(0.5)
+
+
+class TestAgainstReference:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        lines=st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=300),
+        n_sets=st.sampled_from([1, 2, 4, 8, 16]),
+    )
+    def test_matches_reference_on_random_streams(self, lines, n_sets):
+        fast = direct_mapped_filter(np.array(lines, dtype=np.int64), n_sets)
+        ref_miss, ref_victims = reference_direct_mapped_filter(lines, n_sets)
+        assert fast.miss_mask.tolist() == ref_miss
+        assert fast.victims.tolist() == ref_victims
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        lines=st.lists(
+            st.integers(min_value=0, max_value=2**40), min_size=1, max_size=100
+        ),
+    )
+    def test_huge_addresses(self, lines):
+        fast = direct_mapped_filter(np.array(lines, dtype=np.int64), 8)
+        ref_miss, ref_victims = reference_direct_mapped_filter(lines, 8)
+        assert fast.miss_mask.tolist() == ref_miss
+        assert fast.victims.tolist() == ref_victims
+
+
+class TestInvariants:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        lines=st.lists(st.integers(min_value=0, max_value=64), min_size=1, max_size=200),
+        n_sets=st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_victims_only_on_misses_and_differ_from_line(self, lines, n_sets):
+        arr = np.array(lines, dtype=np.int64)
+        result = direct_mapped_filter(arr, n_sets)
+        for i in range(len(arr)):
+            if not result.miss_mask[i]:
+                assert result.victims[i] == NO_VICTIM
+            elif result.victims[i] != NO_VICTIM:
+                # victim shares the set but is a different line
+                assert result.victims[i] % n_sets == arr[i] % n_sets
+                assert result.victims[i] != arr[i]
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        lines=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200),
+    )
+    def test_fully_sized_cache_only_cold_misses(self, lines):
+        # With >= one set per possible line, misses == unique lines.
+        arr = np.array(lines, dtype=np.int64)
+        result = direct_mapped_filter(arr, 31)
+        assert result.n_misses == len(set(lines))

@@ -1,0 +1,108 @@
+"""Best-performance envelope: Pareto staircase properties."""
+
+import math
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.envelope import best_envelope, envelope_tpi_at
+
+
+@dataclass(frozen=True)
+class FakePerf:
+    """Duck-typed stand-in: the envelope only reads area_rbe / tpi_ns."""
+
+    area_rbe: float
+    tpi_ns: float
+    label: str = "x:y"
+
+
+def fake_perf(area: float, tpi: float) -> FakePerf:
+    return FakePerf(area_rbe=area, tpi_ns=tpi)
+
+
+class TestBestEnvelope:
+    def test_empty_input(self):
+        assert best_envelope([]) == []
+
+    def test_single_point(self):
+        env = best_envelope([fake_perf(100.0, 5.0)])
+        assert len(env) == 1
+        assert env[0].area_rbe == 100.0
+        assert env[0].tpi_ns == 5.0
+
+    def test_dominated_point_excluded(self):
+        points = [fake_perf(100.0, 5.0), fake_perf(200.0, 6.0)]
+        env = best_envelope(points)
+        assert [p.area_rbe for p in env] == [100.0]
+
+    def test_improving_points_all_kept(self):
+        points = [fake_perf(100.0, 5.0), fake_perf(200.0, 4.0), fake_perf(400.0, 3.0)]
+        env = best_envelope(points)
+        assert [p.tpi_ns for p in env] == [5.0, 4.0, 3.0]
+
+    def test_tie_in_tpi_keeps_smaller_area(self):
+        points = [fake_perf(200.0, 5.0), fake_perf(100.0, 5.0)]
+        env = best_envelope(points)
+        assert len(env) == 1
+        assert env[0].area_rbe == 100.0
+
+    def test_equal_area_keeps_better_tpi(self):
+        points = [fake_perf(100.0, 5.0), fake_perf(100.0, 4.0)]
+        env = best_envelope(points)
+        assert len(env) == 1
+        assert env[0].tpi_ns == 4.0
+
+    def test_input_order_irrelevant(self):
+        pts = [fake_perf(300.0, 3.0), fake_perf(100.0, 5.0), fake_perf(200.0, 4.0)]
+        forward = best_envelope(pts)
+        backward = best_envelope(list(reversed(pts)))
+        assert [(p.area_rbe, p.tpi_ns) for p in forward] == [
+            (p.area_rbe, p.tpi_ns) for p in backward
+        ]
+
+    def test_envelope_point_exposes_label(self):
+        env = best_envelope([fake_perf(100.0, 5.0)])
+        assert env[0].label == "x:y"
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=1e6),
+                st.floats(min_value=0.1, max_value=100.0),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_staircase_properties(self, raw):
+        points = [fake_perf(area, tpi) for area, tpi in raw]
+        env = best_envelope(points)
+        areas = [p.area_rbe for p in env]
+        tpis = [p.tpi_ns for p in env]
+        # strictly increasing area, strictly decreasing tpi
+        assert all(a < b for a, b in zip(areas, areas[1:]))
+        assert all(a > b for a, b in zip(tpis, tpis[1:]))
+        # envelope reaches the global minimum tpi
+        assert min(tpis) == pytest.approx(min(t for _, t in raw))
+        # no input point dominates an envelope corner
+        for point in env:
+            for area, tpi in raw:
+                assert not (area <= point.area_rbe and tpi < point.tpi_ns - 1e-9)
+
+
+class TestEnvelopeTpiAt:
+    def test_lookup_between_corners(self):
+        env = best_envelope(
+            [fake_perf(100.0, 5.0), fake_perf(200.0, 4.0), fake_perf(400.0, 3.0)]
+        )
+        assert envelope_tpi_at(env, 50.0) == math.inf
+        assert envelope_tpi_at(env, 100.0) == 5.0
+        assert envelope_tpi_at(env, 250.0) == 4.0
+        assert envelope_tpi_at(env, 1e9) == 3.0
+
+    def test_empty_envelope(self):
+        assert envelope_tpi_at([], 100.0) == math.inf

@@ -1,0 +1,41 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ExperimentError,
+    GeometryError,
+    ModelError,
+    ReproError,
+    TraceError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ConfigurationError, GeometryError, ModelError, TraceError, ExperimentError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_geometry_is_a_configuration_error(self):
+        """Callers validating configurations catch geometry issues too."""
+        assert issubclass(GeometryError, ConfigurationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise GeometryError("bad shape")
+
+    def test_library_raises_its_own_types(self):
+        from repro.cache.geometry import CacheGeometry
+        from repro.study import get_experiment
+        from repro.traces.workloads import get_workload
+
+        with pytest.raises(GeometryError):
+            CacheGeometry(100)
+        with pytest.raises(TraceError):
+            get_workload("nope")
+        with pytest.raises(ExperimentError):
+            get_experiment("nope")

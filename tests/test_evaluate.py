@@ -1,0 +1,79 @@
+"""End-to-end evaluation: config + workload -> TPI and area."""
+
+import pytest
+
+from conftest import TINY
+from repro.cache.hierarchy import Policy
+from repro.core.config import SystemConfig
+from repro.core.evaluate import evaluate, system_area_rbe
+from repro.area.model import optimal_cache_area
+from repro.units import kb
+
+
+class TestSystemArea:
+    def test_single_level_is_two_l1_arrays(self):
+        config = SystemConfig(l1_bytes=kb(8))
+        expected = 2 * optimal_cache_area(kb(8)).total
+        assert system_area_rbe(config) == pytest.approx(expected)
+
+    def test_two_level_adds_l2(self):
+        config = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64), l2_associativity=4)
+        expected = (
+            2 * optimal_cache_area(kb(8)).total
+            + optimal_cache_area(kb(64), associativity=4).total
+        )
+        assert system_area_rbe(config) == pytest.approx(expected)
+
+    def test_dual_ported_l1_grows_area_but_not_l2(self):
+        base = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64))
+        dual = base.dual_ported()
+        l2_area = optimal_cache_area(kb(64), associativity=4).total
+        delta = system_area_rbe(dual) - system_area_rbe(base)
+        l1_single = 2 * optimal_cache_area(kb(8)).total
+        l1_double = 2 * optimal_cache_area(kb(8), ports=2).total
+        assert delta == pytest.approx(l1_double - l1_single)
+        assert delta < l2_area * 2  # sanity: L2 unchanged
+
+
+class TestEvaluate:
+    def test_by_name_and_by_trace_agree(self, gcc1_tiny):
+        config = SystemConfig(l1_bytes=kb(2), l2_bytes=kb(16))
+        by_name = evaluate(config, "gcc1", scale=TINY)
+        by_trace = evaluate(config, gcc1_tiny)
+        assert by_name.tpi_ns == pytest.approx(by_trace.tpi_ns)
+        assert by_name.workload == by_trace.workload == "gcc1"
+
+    def test_policy_changes_results(self, gcc1_tiny):
+        conv = evaluate(
+            SystemConfig(l1_bytes=kb(2), l2_bytes=kb(8)), gcc1_tiny
+        )
+        excl = evaluate(
+            SystemConfig(l1_bytes=kb(2), l2_bytes=kb(8), policy=Policy.EXCLUSIVE),
+            gcc1_tiny,
+        )
+        assert excl.tpi_ns < conv.tpi_ns
+
+    def test_off_chip_time_changes_tpi_not_stats(self, gcc1_tiny):
+        near = evaluate(SystemConfig(l1_bytes=kb(2)), gcc1_tiny)
+        far = evaluate(
+            SystemConfig(l1_bytes=kb(2), off_chip_ns=200.0), gcc1_tiny
+        )
+        assert far.tpi_ns > near.tpi_ns
+        assert far.stats == near.stats  # simulation shared via memoisation
+
+    def test_tpi_positive_and_at_least_cycle_time(self, gcc1_tiny):
+        perf = evaluate(SystemConfig(l1_bytes=kb(4)), gcc1_tiny)
+        assert perf.tpi_ns >= perf.tpi.timings.l1_cycle_ns
+
+    def test_label_and_repr(self, gcc1_tiny):
+        perf = evaluate(SystemConfig(l1_bytes=kb(2), l2_bytes=kb(16)), gcc1_tiny)
+        assert perf.label == "2:16"
+        assert "gcc1" in repr(perf)
+
+    def test_policy_ignored_without_l2(self, gcc1_tiny):
+        conv = evaluate(SystemConfig(l1_bytes=kb(2)), gcc1_tiny)
+        excl = evaluate(
+            SystemConfig(l1_bytes=kb(2), policy=Policy.EXCLUSIVE), gcc1_tiny
+        )
+        assert conv.stats == excl.stats
+        assert conv.tpi_ns == pytest.approx(excl.tpi_ns)

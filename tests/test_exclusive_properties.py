@@ -1,0 +1,109 @@
+"""Semantic properties of two-level exclusive caching (§8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_random_trace
+from repro.cache.hierarchy import Policy, simulate_hierarchy
+from repro.study.experiments.exclusion_demo import (
+    LINE_A,
+    LINE_B,
+    LINE_E,
+    alternating_trace,
+)
+from repro.traces.address import Trace
+from repro.units import kb
+
+
+class TestFigure21Scenarios:
+    """The paper's didactic Figure 21, as executable checks."""
+
+    def test_l2_conflict_thrashes_conventionally(self):
+        trace = alternating_trace(LINE_A, LINE_E)
+        stats = simulate_hierarchy(
+            trace, 64, 256, 1, Policy.CONVENTIONAL, warmup_fraction=0.5
+        )
+        # Every post-warmup data reference goes off-chip.
+        assert stats.l2_misses == stats.n_data_refs
+        assert stats.l2_hits == 0
+
+    def test_l2_conflict_swaps_exclusively(self):
+        trace = alternating_trace(LINE_A, LINE_E)
+        stats = simulate_hierarchy(
+            trace, 64, 256, 1, Policy.EXCLUSIVE, warmup_fraction=0.5
+        )
+        # Exclusion: both lines stay on-chip, alternating via swaps.
+        assert stats.l2_misses == 0
+        assert stats.l2_hits == stats.n_data_refs
+
+    def test_l1_only_conflict_keeps_inclusion_either_way(self):
+        trace = alternating_trace(LINE_A, LINE_B)
+        for policy in Policy:
+            stats = simulate_hierarchy(
+                trace, 64, 256, 1, policy, warmup_fraction=0.5
+            )
+            assert stats.l2_misses == 0, policy
+
+    def test_line_constants_match_figure(self):
+        # A and E collide in both levels; B collides with A in L1 only.
+        assert LINE_A % 16 == LINE_E % 16 == 13
+        assert LINE_A % 4 == LINE_E % 4 == LINE_B % 4
+        assert LINE_B % 16 != LINE_A % 16
+
+
+class TestCapacityAdvantage:
+    def test_exclusive_holds_l1_plus_l2_distinct_lines(self):
+        """2x + y lines fit on-chip exclusively but not conventionally.
+
+        A cyclic sweep over exactly (L1_I + L1_D + L2) distinct lines:
+        conventional caching duplicates L1 contents in the L2, so the
+        sweep always misses somewhere; exclusive caching converges to
+        holding every line on-chip.
+        """
+        l1_bytes, l2_bytes = 64, 256  # 4 + 16 lines
+        # Data sweep of 4 (L1D) + 16 (L2) = 20 lines; instruction stream
+        # pinned to one line so it occupies a single L2 set at most.
+        n_lines = 20
+        reps = 60
+        d_lines = np.tile(np.arange(n_lines, dtype=np.int64), reps)
+        n_data = len(d_lines)
+        i_addrs = np.zeros(n_data, dtype=np.int64)
+        trace = Trace("sweep", i_addrs, d_lines * 16, np.arange(n_data))
+
+        excl = simulate_hierarchy(
+            trace, l1_bytes, l2_bytes, 4, Policy.EXCLUSIVE, warmup_fraction=0.5
+        )
+        conv = simulate_hierarchy(
+            trace, l1_bytes, l2_bytes, 4, Policy.CONVENTIONAL, warmup_fraction=0.5
+        )
+        assert excl.l2_misses < conv.l2_misses
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_exclusive_never_increases_l1_misses(self, seed):
+        trace = make_random_trace(seed, n_instructions=400, n_lines=60)
+        conv = simulate_hierarchy(trace, 512, 2048, 4, Policy.CONVENTIONAL)
+        excl = simulate_hierarchy(trace, 512, 2048, 4, Policy.EXCLUSIVE)
+        assert conv.l1_misses == excl.l1_misses
+
+    def test_exclusive_helps_on_real_workload(self, gcc1_tiny):
+        conv = simulate_hierarchy(gcc1_tiny, kb(4), kb(16), 4, Policy.CONVENTIONAL)
+        excl = simulate_hierarchy(gcc1_tiny, kb(4), kb(16), 4, Policy.EXCLUSIVE)
+        assert excl.l2_misses < conv.l2_misses
+
+
+class TestVictimCacheDegenerateCase:
+    def test_l2_smaller_than_l1_acts_as_victim_cache(self, gcc1_tiny):
+        """With y < x the paper notes the L2 becomes a shared victim
+        cache; it must still reduce off-chip traffic under exclusion."""
+        single = simulate_hierarchy(gcc1_tiny, kb(8))
+        victim = simulate_hierarchy(gcc1_tiny, kb(8), kb(4), 4, Policy.EXCLUSIVE)
+        assert victim.off_chip_fetches < single.off_chip_fetches
+
+    def test_conventional_tiny_l2_is_nearly_useless(self, gcc1_tiny):
+        """Conventionally a 2:1-sized L2 mostly duplicates the L1s."""
+        conv = simulate_hierarchy(gcc1_tiny, kb(8), kb(4), 4, Policy.CONVENTIONAL)
+        excl = simulate_hierarchy(gcc1_tiny, kb(8), kb(4), 4, Policy.EXCLUSIVE)
+        assert excl.l2_hits > conv.l2_hits

@@ -1,0 +1,69 @@
+"""Shared figure-building helpers (`repro.study.experiments.common`)."""
+
+import pytest
+
+from conftest import TINY
+from repro.cache.hierarchy import Policy
+from repro.study.experiments.common import (
+    baseline_config,
+    cloud_series,
+    envelope_series,
+    figure_series,
+    single_level_series,
+    sweep_workload,
+)
+from repro.units import kb
+
+
+class TestBaselineConfig:
+    def test_defaults_match_section4(self):
+        config = baseline_config()
+        assert config.l2_associativity == 4
+        assert config.off_chip_ns == 50.0
+        assert config.policy is Policy.CONVENTIONAL
+        assert config.l1_ports == 1
+
+    def test_overrides(self):
+        config = baseline_config(off_chip_ns=200.0, l2_associativity=1)
+        assert config.off_chip_ns == 200.0
+        assert config.l2_associativity == 1
+
+
+class TestSeriesBuilders:
+    @pytest.fixture(scope="class")
+    def perfs(self):
+        return sweep_workload("espresso", baseline_config(), TINY)
+
+    def test_sweep_covers_design_space(self, perfs):
+        assert len(perfs) == 45
+
+    def test_cloud_ordered_by_area(self, perfs):
+        series = cloud_series("cloud", perfs)
+        areas = series.column("area_rbe")
+        assert areas == sorted(areas)
+        assert len(series.rows) == 45
+
+    def test_envelope_is_subset_of_cloud(self, perfs):
+        cloud = {(r[0], r[2]) for r in cloud_series("c", perfs).rows}
+        for row in envelope_series("e", perfs).rows:
+            assert (row[0], row[2]) in cloud
+
+    def test_single_level_series_only_singles(self, perfs):
+        series = single_level_series("s", perfs)
+        for label, _, _ in series.rows:
+            assert label.endswith(":0")
+
+    def test_figure_series_names_and_order(self):
+        series = figure_series(
+            "espresso", baseline_config(), TINY, include_cloud=True
+        )
+        names = [s.name for s in series]
+        assert names == [
+            "espresso all configs",
+            "espresso best 2-level config",
+            "espresso 1-level only",
+        ]
+
+    def test_figure_series_without_cloud(self):
+        series = figure_series("espresso", baseline_config(), TINY)
+        assert len(series) == 2

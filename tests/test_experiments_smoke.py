@@ -1,0 +1,60 @@
+"""Smoke-run every registered experiment at a tiny trace scale.
+
+These tests prove each exhibit's pipeline runs end-to-end and emits
+well-formed series; the qualitative *shape* assertions live in
+``test_paper_claims.py`` at a larger scale.
+"""
+
+import pytest
+
+from conftest import TINY
+from repro.study import experiment_ids, run_experiment
+
+#: Experiments that involve no trace simulation run at any scale.
+SCALE_FREE = {"fig1", "fig2", "fig21"}
+
+#: Figure experiments grouped by cost so the heavy sweeps share traces.
+ALL_IDS = experiment_ids()
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+def test_experiment_runs_and_is_well_formed(experiment_id):
+    scale = None if experiment_id in SCALE_FREE else TINY
+    result = run_experiment(experiment_id, scale=scale)
+    assert result.experiment_id == experiment_id
+    assert result.series, "every experiment must emit at least one series"
+    for series in result.series:
+        assert series.rows, f"series {series.name!r} is empty"
+    text = result.render()
+    assert experiment_id in text
+
+
+def test_tpi_figures_expose_standard_columns():
+    result = run_experiment("fig3", scale=TINY)
+    for series in result.series:
+        assert series.columns == ("config", "area_rbe", "tpi_ns")
+        tpis = series.column("tpi_ns")
+        assert all(t > 0 for t in tpis)
+
+
+def test_envelopes_are_staircases():
+    result = run_experiment("fig6", scale=TINY)
+    for series in result.series:
+        areas = series.column("area_rbe")
+        tpis = series.column("tpi_ns")
+        if "best" in series.name or "1-level only" in series.name:
+            assert areas == sorted(areas)
+            assert all(a > b for a, b in zip(tpis, tpis[1:]))
+
+
+def test_table1_shape():
+    result = run_experiment("table1", scale=TINY)
+    series = result.series[0]
+    assert len(series.rows) == 7
+    programs = series.column("program")
+    assert programs[0] == "gcc1" and programs[-1] == "tomcatv"
+    # synthetic ratio tracks the paper ratio
+    for synth, paper in zip(
+        series.column("synth_data_ratio"), series.column("paper_data_ratio")
+    ):
+        assert synth == pytest.approx(paper, abs=0.05)

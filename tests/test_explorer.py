@@ -1,0 +1,86 @@
+"""Design-space enumeration and sweeping."""
+
+import pytest
+
+from conftest import TINY
+from repro.cache.hierarchy import Policy
+from repro.core.config import SystemConfig
+from repro.core.explorer import (
+    design_space,
+    standard_l1_sizes,
+    standard_l2_sizes,
+    sweep,
+)
+from repro.units import kb
+
+
+class TestStandardSizes:
+    def test_l1_sizes_match_paper(self):
+        sizes = standard_l1_sizes()
+        assert sizes[0] == kb(1)
+        assert sizes[-1] == kb(256)
+        assert len(sizes) == 9
+
+    def test_l2_sizes_start_at_twice_l1(self):
+        sizes = standard_l2_sizes(kb(8))
+        assert sizes[0] == 0
+        assert sizes[1] == kb(16)
+        assert sizes[-1] == kb(256)
+
+    def test_l2_sizes_for_max_l1(self):
+        # 256 KB L1s leave no valid (>= 2x) L2 at the 256 KB cap.
+        assert standard_l2_sizes(kb(256)) == [0]
+
+
+class TestDesignSpace:
+    def test_default_space_counts(self):
+        configs = design_space()
+        # 9 single-level + sum over L1 of valid L2 counts
+        singles = [c for c in configs if not c.has_l2]
+        assert len(singles) == 9
+        assert all(c.l2_bytes == 0 or c.l2_bytes >= 2 * c.l1_bytes for c in configs)
+        assert len(configs) == 45
+
+    def test_template_fields_propagate(self):
+        template = SystemConfig(
+            l1_bytes=kb(1),
+            policy=Policy.EXCLUSIVE,
+            off_chip_ns=200.0,
+            l2_associativity=1,
+        )
+        configs = design_space(template)
+        for config in configs:
+            assert config.off_chip_ns == 200.0
+            assert config.l2_associativity == 1
+            if config.has_l2:
+                assert config.policy is Policy.EXCLUSIVE
+
+    def test_single_level_points_use_conventional_policy(self):
+        template = SystemConfig(l1_bytes=kb(1), policy=Policy.EXCLUSIVE)
+        singles = [c for c in design_space(template) if not c.has_l2]
+        assert all(c.policy is Policy.CONVENTIONAL for c in singles)
+
+    def test_exclude_single_level(self):
+        configs = design_space(include_single_level=False)
+        assert all(c.has_l2 for c in configs)
+
+    def test_explicit_sizes(self):
+        configs = design_space(
+            l1_sizes=[kb(1), kb(2)], l2_sizes=[0, kb(2), kb(8)]
+        )
+        labels = {c.label for c in configs}
+        assert labels == {"1:0", "1:2", "1:8", "2:0", "2:8"}
+
+
+class TestSweep:
+    def test_sweep_returns_one_perf_per_config(self):
+        configs = design_space(l1_sizes=[kb(1), kb(2)], l2_sizes=[0, kb(8)])
+        perfs = sweep("espresso", configs, scale=TINY)
+        assert len(perfs) == len(configs)
+        assert [p.config for p in perfs] == list(configs)
+
+    def test_sweep_is_deterministic(self):
+        configs = design_space(l1_sizes=[kb(1)], l2_sizes=[0, kb(4)])
+        a = sweep("espresso", configs, scale=TINY)
+        b = sweep("espresso", configs, scale=TINY)
+        assert [p.tpi_ns for p in a] == [p.tpi_ns for p in b]

@@ -1,0 +1,58 @@
+"""Banked vs dual-ported L1 extension (§6 remark, Sohi & Franklin)."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.evaluate import evaluate
+from repro.errors import ConfigurationError
+from repro.ext.banking import evaluate_banked
+from repro.units import kb
+
+
+class TestModel:
+    def test_effective_issue_below_two(self, gcc1_tiny):
+        result = evaluate_banked(SystemConfig(l1_bytes=kb(8)), gcc1_tiny)
+        assert 1.0 < result.effective_issue < 2.0
+        assert result.conflict_probability == pytest.approx(0.25)
+
+    def test_more_banks_fewer_conflicts(self, gcc1_tiny):
+        config = SystemConfig(l1_bytes=kb(8))
+        few = evaluate_banked(config, gcc1_tiny, n_banks=2)
+        many = evaluate_banked(config, gcc1_tiny, n_banks=16)
+        assert many.effective_issue > few.effective_issue
+        assert many.tpi_ns < few.tpi_ns
+
+    def test_banked_cheaper_but_slower_than_dual_ported(self, gcc1_tiny):
+        config = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64))
+        banked = evaluate_banked(config, gcc1_tiny, n_banks=4)
+        dual = evaluate(config.dual_ported(), gcc1_tiny)
+        assert banked.area_rbe < dual.area_rbe
+        assert banked.tpi_ns > dual.tpi_ns
+
+    def test_banked_faster_than_single_issue(self, gcc1_tiny):
+        config = SystemConfig(l1_bytes=kb(8))
+        banked = evaluate_banked(config, gcc1_tiny)
+        single = evaluate(config, gcc1_tiny)
+        assert banked.tpi_ns < single.tpi_ns
+        assert banked.area_rbe > single.area_rbe
+
+    def test_validation(self, gcc1_tiny):
+        config = SystemConfig(l1_bytes=kb(8))
+        with pytest.raises(ConfigurationError):
+            evaluate_banked(config, gcc1_tiny, n_banks=3)
+        with pytest.raises(ConfigurationError):
+            evaluate_banked(config, gcc1_tiny, n_banks=1)
+        with pytest.raises(ConfigurationError):
+            evaluate_banked(config, gcc1_tiny, bank_area_factor=0.5)
+
+    def test_miss_handling_unchanged(self, gcc1_tiny):
+        """Banking only affects issue bandwidth; miss counts and their
+        penalties equal the single-issue machine's."""
+        config = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64))
+        banked = evaluate_banked(config, gcc1_tiny)
+        baseline = evaluate(config, gcc1_tiny)
+        # TPI difference must equal the base-time difference exactly.
+        base_single = baseline.tpi.base_ns / baseline.stats.n_instructions
+        base_banked = base_single / banked.effective_issue
+        expected = baseline.tpi_ns - base_single + base_banked
+        assert banked.tpi_ns == pytest.approx(expected)

@@ -1,0 +1,86 @@
+"""Board-level cache (L3) extension."""
+
+import pytest
+
+from conftest import MEDIUM
+from repro.core.config import SystemConfig
+from repro.core.evaluate import evaluate
+from repro.errors import ConfigurationError
+from repro.ext.l3 import evaluate_with_board_cache
+from repro.units import kb
+
+
+class TestModel:
+    def test_counts_partition(self, gcc1_tiny):
+        config = SystemConfig(l1_bytes=kb(4), l2_bytes=kb(32))
+        result = evaluate_with_board_cache(config, gcc1_tiny)
+        baseline = evaluate(config, gcc1_tiny)
+        assert result.l3_hits + result.l3_misses == baseline.stats.l2_misses
+
+    def test_effective_latency_between_bounds(self, gcc1_tiny):
+        result = evaluate_with_board_cache(
+            SystemConfig(l1_bytes=kb(4)), gcc1_tiny
+        )
+        assert result.board_hit_ns <= result.effective_off_chip_ns
+        assert result.effective_off_chip_ns <= result.dram_ns
+
+    def test_tpi_between_constant_models(self, gcc1_tiny):
+        """The mixed latency sits between the paper's 50 ns and 200 ns
+        constant abstractions."""
+        config = SystemConfig(l1_bytes=kb(4), l2_bytes=kb(32))
+        mixed = evaluate_with_board_cache(
+            config, gcc1_tiny, board_hit_ns=50.0, dram_ns=200.0
+        )
+        fast = evaluate(config, gcc1_tiny)  # 50 ns constant
+        slow = evaluate(
+            SystemConfig(
+                l1_bytes=kb(4), l2_bytes=kb(32), off_chip_ns=200.0
+            ),
+            gcc1_tiny,
+        )
+        assert fast.tpi_ns <= mixed.tpi_ns + 1e-9
+        assert mixed.tpi_ns <= slow.tpi_ns + 1e-9
+
+    def test_constant_model_matches_core_evaluate(self, gcc1_tiny):
+        """With a never-missing L3 the model collapses to the paper's
+        50 ns abstraction — and must agree with the core TPI engine."""
+        config = SystemConfig(l1_bytes=kb(4), l2_bytes=kb(32))
+        result = evaluate_with_board_cache(config, gcc1_tiny)
+        baseline = evaluate(config, gcc1_tiny)
+        assert result.constant_model_tpi_ns == pytest.approx(baseline.tpi_ns)
+
+    def test_bigger_l3_fewer_misses(self):
+        config = SystemConfig(l1_bytes=kb(4), l2_bytes=kb(32))
+        small = evaluate_with_board_cache(
+            config, "gcc1", l3_bytes=kb(256), scale=MEDIUM
+        )
+        large = evaluate_with_board_cache(
+            config, "gcc1", l3_bytes=4 << 20, scale=MEDIUM
+        )
+        assert large.l3_misses <= small.l3_misses
+        assert large.tpi_ns <= small.tpi_ns + 1e-9
+
+    def test_single_level_supported(self, gcc1_tiny):
+        result = evaluate_with_board_cache(
+            SystemConfig(l1_bytes=kb(4)), gcc1_tiny
+        )
+        assert result.tpi_ns > 0
+
+    def test_exclusive_policy_supported(self, gcc1_tiny):
+        from repro.cache.hierarchy import Policy
+
+        config = SystemConfig(
+            l1_bytes=kb(4), l2_bytes=kb(32), policy=Policy.EXCLUSIVE
+        )
+        result = evaluate_with_board_cache(config, gcc1_tiny)
+        baseline = evaluate(config, gcc1_tiny)
+        assert result.l3_hits + result.l3_misses == baseline.stats.l2_misses
+
+    def test_validation(self, gcc1_tiny):
+        config = SystemConfig(l1_bytes=kb(4))
+        with pytest.raises(ConfigurationError):
+            evaluate_with_board_cache(config, gcc1_tiny, l3_bytes=0)
+        with pytest.raises(ConfigurationError):
+            evaluate_with_board_cache(
+                config, gcc1_tiny, board_hit_ns=100.0, dram_ns=50.0
+            )

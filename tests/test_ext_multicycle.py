@@ -1,0 +1,92 @@
+"""Multicycle-L1 extension (§10 conjecture 1)."""
+
+import pytest
+
+from conftest import MEDIUM
+from repro.core.config import SystemConfig
+from repro.core.evaluate import evaluate
+from repro.errors import ConfigurationError
+from repro.ext.multicycle import evaluate_multicycle
+from repro.units import kb
+
+
+class TestModel:
+    def test_small_l1_is_single_cycle(self, gcc1_tiny):
+        result = evaluate_multicycle(
+            SystemConfig(l1_bytes=kb(1)), gcc1_tiny, datapath_cycle_ns=1.8
+        )
+        assert result.l1_cycles == 1
+        assert result.load_stall_ns == 0.0
+
+    def test_large_l1_is_multicycle(self, gcc1_tiny):
+        result = evaluate_multicycle(
+            SystemConfig(l1_bytes=kb(256)), gcc1_tiny, datapath_cycle_ns=1.8
+        )
+        assert result.l1_cycles >= 2
+        assert result.load_stall_ns > 0.0
+
+    def test_zero_sensitivity_removes_load_stalls(self, gcc1_tiny):
+        result = evaluate_multicycle(
+            SystemConfig(l1_bytes=kb(256)),
+            gcc1_tiny,
+            datapath_cycle_ns=1.8,
+            load_sensitivity=0.0,
+        )
+        assert result.load_stall_ns == 0.0
+
+    def test_sensitivity_monotone(self, gcc1_tiny):
+        config = SystemConfig(l1_bytes=kb(256))
+        tpis = [
+            evaluate_multicycle(
+                config, gcc1_tiny, load_sensitivity=s
+            ).tpi_ns
+            for s in (0.0, 0.5, 1.0)
+        ]
+        assert tpis[0] < tpis[1] < tpis[2]
+
+    def test_validation(self, gcc1_tiny):
+        with pytest.raises(ConfigurationError):
+            evaluate_multicycle(
+                SystemConfig(l1_bytes=kb(1)), gcc1_tiny, datapath_cycle_ns=0
+            )
+        with pytest.raises(ConfigurationError):
+            evaluate_multicycle(
+                SystemConfig(l1_bytes=kb(1)), gcc1_tiny, load_sensitivity=2.0
+            )
+
+    def test_area_matches_baseline_model(self, gcc1_tiny):
+        config = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64))
+        multicycle = evaluate_multicycle(config, gcc1_tiny)
+        baseline = evaluate(config, gcc1_tiny)
+        assert multicycle.area_rbe == pytest.approx(baseline.area_rbe)
+
+
+class TestPaperConjecture:
+    def test_multicycle_reduces_two_level_advantage(self):
+        """§10: multicycle L1s should 'reduce the effectiveness of
+        two-level on-chip caching' because a big single-level L1 no
+        longer slows the clock."""
+        single = SystemConfig(l1_bytes=kb(64))
+        two = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(128))
+
+        base_gain = (
+            evaluate(single, "gcc1", scale=MEDIUM).tpi_ns
+            / evaluate(two, "gcc1", scale=MEDIUM).tpi_ns
+        )
+        multi_gain = (
+            evaluate_multicycle(single, "gcc1", scale=MEDIUM).tpi_ns
+            / evaluate_multicycle(two, "gcc1", scale=MEDIUM).tpi_ns
+        )
+        assert multi_gain < base_gain
+
+    def test_latency_tolerant_codes_gain_most(self):
+        """'especially true for applications that can tolerate large
+        load latencies, such as numeric benchmarks'."""
+        config = SystemConfig(l1_bytes=kb(256))
+        tolerant = evaluate_multicycle(
+            config, "tomcatv", scale=MEDIUM, load_sensitivity=0.2
+        )
+        intolerant = evaluate_multicycle(
+            config, "tomcatv", scale=MEDIUM, load_sensitivity=1.0
+        )
+        assert tolerant.tpi_ns < intolerant.tpi_ns

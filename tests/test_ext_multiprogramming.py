@@ -1,0 +1,90 @@
+"""Multiprogramming extension: interleaving and interference."""
+
+import numpy as np
+import pytest
+
+from conftest import TINY
+from repro.errors import TraceError
+from repro.ext.multiprogramming import (
+    interleave_traces,
+    multiprogramming_study,
+)
+from repro.traces.address import Trace
+from repro.traces.store import get_trace
+from repro.units import kb
+
+
+def tiny_trace(name, n, base=0):
+    i = np.arange(n, dtype=np.int64) * 4 + base
+    return Trace(name, i, np.array([]), np.array([]))
+
+
+class TestInterleave:
+    def test_total_lengths_preserved(self):
+        a, b = tiny_trace("a", 25), tiny_trace("b", 10)
+        merged = interleave_traces(a, b, quantum_instructions=4)
+        assert merged.n_instructions == 35
+
+    def test_round_robin_order(self):
+        a, b = tiny_trace("a", 4), tiny_trace("b", 4)
+        merged = interleave_traces(a, b, quantum_instructions=2)
+        spaces = (merged.i_addrs // (1 << 44)).tolist()
+        assert spaces == [1, 1, 2, 2, 1, 1, 2, 2]
+
+    def test_address_spaces_disjoint(self):
+        a = get_trace("espresso", TINY)
+        b = get_trace("li", TINY)
+        merged = interleave_traces(a, b, 1000)
+        spaces = set((merged.i_addrs // (1 << 44)).tolist())
+        assert spaces == {1, 2}
+
+    def test_data_refs_follow_their_quantum(self):
+        i = np.arange(6, dtype=np.int64) * 4
+        a = Trace("a", i, np.array([100, 200]), np.array([0, 5]))
+        b = tiny_trace("b", 6)
+        merged = interleave_traces(a, b, quantum_instructions=3)
+        # a's instr 0 runs at merged time 0; a's instr 5 runs in the
+        # second quantum of a, i.e. merged time 3 (b's quantum) + ...
+        assert merged.d_times.tolist() == [0, 8]
+        assert merged.n_data_refs == 2
+
+    def test_times_monotone_on_real_workloads(self):
+        a = get_trace("espresso", TINY)
+        b = get_trace("li", TINY)
+        merged = interleave_traces(a, b, 5000)
+        assert np.all(np.diff(merged.d_times) >= 0)
+        assert merged.n_refs == a.n_refs + b.n_refs
+
+    def test_default_name(self):
+        merged = interleave_traces(tiny_trace("a", 4), tiny_trace("b", 4), 2)
+        assert merged.name == "a+b"
+
+    def test_bad_quantum(self):
+        with pytest.raises(TraceError):
+            interleave_traces(tiny_trace("a", 4), tiny_trace("b", 4), 0)
+
+
+class TestStudy:
+    def test_interference_inflates_misses(self):
+        result = multiprogramming_study(
+            "espresso", "li", kb(4), kb(32), quantum_instructions=2000, scale=TINY
+        )
+        assert result.interference_factor >= 1.0
+
+    def test_smaller_quantum_interferes_more(self):
+        coarse = multiprogramming_study(
+            "espresso", "li", kb(4), quantum_instructions=10_000, scale=TINY
+        )
+        fine = multiprogramming_study(
+            "espresso", "li", kb(4), quantum_instructions=500, scale=TINY
+        )
+        assert fine.interference_factor >= coarse.interference_factor - 0.02
+
+    def test_bigger_l2_absorbs_interference(self):
+        small = multiprogramming_study(
+            "espresso", "li", kb(2), kb(8), quantum_instructions=2000, scale=TINY
+        )
+        large = multiprogramming_study(
+            "espresso", "li", kb(2), kb(128), quantum_instructions=2000, scale=TINY
+        )
+        assert large.combined.global_miss_rate <= small.combined.global_miss_rate

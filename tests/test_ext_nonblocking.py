@@ -1,0 +1,72 @@
+"""Non-blocking-load extension (§10 conjecture 2)."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.evaluate import evaluate
+from repro.errors import ConfigurationError
+from repro.ext.nonblocking import evaluate_non_blocking
+from repro.units import kb
+
+
+class TestModel:
+    def test_zero_overlap_reproduces_baseline_exactly(self, gcc1_tiny):
+        for config in (
+            SystemConfig(l1_bytes=kb(4)),
+            SystemConfig(l1_bytes=kb(4), l2_bytes=kb(32)),
+        ):
+            baseline = evaluate(config, gcc1_tiny)
+            nb = evaluate_non_blocking(config, gcc1_tiny, overlap=0.0)
+            assert nb.tpi_ns == pytest.approx(baseline.tpi_ns)
+
+    def test_overlap_monotone(self, gcc1_tiny):
+        config = SystemConfig(l1_bytes=kb(4), l2_bytes=kb(32))
+        tpis = [
+            evaluate_non_blocking(config, gcc1_tiny, overlap=o).tpi_ns
+            for o in (0.0, 0.25, 0.5, 1.0)
+        ]
+        assert all(a > b for a, b in zip(tpis, tpis[1:]))
+
+    def test_full_overlap_leaves_instruction_miss_cost(self, gcc1_tiny):
+        """Instruction fetch still blocks: overlap=1 does not reach the
+        miss-free TPI."""
+        config = SystemConfig(l1_bytes=kb(4), l2_bytes=kb(32))
+        nb = evaluate_non_blocking(config, gcc1_tiny, overlap=1.0)
+        miss_free = nb.base_ns / nb.n_instructions
+        assert nb.tpi_ns > miss_free
+
+    def test_data_share_reported(self, gcc1_tiny):
+        nb = evaluate_non_blocking(
+            SystemConfig(l1_bytes=kb(4), l2_bytes=kb(32)), gcc1_tiny
+        )
+        assert 0.0 < nb.data_miss_share < 1.0
+
+    def test_validation(self, gcc1_tiny):
+        with pytest.raises(ConfigurationError):
+            evaluate_non_blocking(
+                SystemConfig(l1_bytes=kb(4)), gcc1_tiny, overlap=1.5
+            )
+
+
+class TestPaperConjecture:
+    def test_overlap_favours_two_level(self, gcc1_tiny):
+        """§10: non-blocking loads 'may increase the benefits of a
+        two-level on-chip caching organization'.
+
+        With overlap, the cheap (overlappable) L2-hit penalty shrinks
+        while the single-level machine still pays full off-chip trips
+        for its conflict misses — the relative two-level gain grows.
+        """
+        single = SystemConfig(l1_bytes=kb(2))
+        two = SystemConfig(l1_bytes=kb(2), l2_bytes=kb(32))
+        gain_blocking = (
+            evaluate_non_blocking(single, gcc1_tiny, overlap=0.0).tpi_ns
+            / evaluate_non_blocking(two, gcc1_tiny, overlap=0.0).tpi_ns
+        )
+        gain_overlapped = (
+            evaluate_non_blocking(single, gcc1_tiny, overlap=0.6).tpi_ns
+            / evaluate_non_blocking(two, gcc1_tiny, overlap=0.6).tpi_ns
+        )
+        assert gain_overlapped == pytest.approx(gain_blocking, rel=0.25)
+        # At minimum, two-level remains preferable under overlap.
+        assert gain_overlapped > 1.0

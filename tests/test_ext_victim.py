@@ -1,0 +1,73 @@
+"""Victim-cache extension (Jouppi 1990 / the paper's y < x remark)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.hierarchy import Policy, simulate_hierarchy
+from repro.errors import ConfigurationError
+from repro.ext.victim import simulate_victim_cache
+from repro.traces.address import Trace
+from repro.units import kb
+
+
+def conflict_trace(n_cycles: int = 64) -> Trace:
+    """Data stream alternating two lines that share an L1 set."""
+    i_addrs = np.zeros(n_cycles, dtype=np.int64)
+    d_times = np.arange(n_cycles, dtype=np.int64)
+    # For a 64 B (4-set) L1: lines 5 and 9 both map to set 1.
+    d_lines = np.where(d_times % 2 == 0, 5, 9)
+    return Trace("conflict", i_addrs, d_lines * 16, d_times)
+
+
+class TestSemantics:
+    def test_absorbs_simple_conflict_completely(self):
+        trace = conflict_trace()
+        stats = simulate_victim_cache(trace, 64, victim_lines=2, warmup_fraction=0.5)
+        # Every post-warmup data miss swaps with the victim buffer.
+        assert stats.victim_hit_rate == pytest.approx(1.0)
+        assert stats.miss_rate_below == pytest.approx(0.0)
+
+    def test_single_entry_buffer_still_works_for_two_way_pingpong(self):
+        trace = conflict_trace()
+        stats = simulate_victim_cache(trace, 64, victim_lines=1, warmup_fraction=0.5)
+        assert stats.victim_hits == stats.l1_misses
+
+    def test_no_victims_no_hits_on_cold_stream(self):
+        # Strictly sequential lines never conflict, so the buffer only
+        # ever receives cold-fill victims (none) and can never hit.
+        i_addrs = np.arange(64, dtype=np.int64) * 16
+        trace = Trace("seq", i_addrs, np.array([]), np.array([]))
+        stats = simulate_victim_cache(trace, 64, victim_lines=4, warmup_fraction=0.0)
+        assert stats.victim_hits == 0
+
+    def test_validation(self, gcc1_tiny):
+        with pytest.raises(ConfigurationError):
+            simulate_victim_cache(gcc1_tiny, kb(4), victim_lines=0)
+        with pytest.raises(ConfigurationError):
+            simulate_victim_cache(gcc1_tiny, kb(4), warmup_fraction=1.5)
+
+
+class TestAgainstExclusiveTinyL2:
+    def test_bigger_buffer_never_hurts(self, gcc1_tiny):
+        rates = [
+            simulate_victim_cache(gcc1_tiny, kb(4), victim_lines=n).miss_rate_below
+            for n in (1, 4, 16, 64)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_l1_misses_match_plain_hierarchy(self, gcc1_tiny):
+        """The buffer never changes L1 contents."""
+        vc = simulate_victim_cache(gcc1_tiny, kb(4), victim_lines=8)
+        plain = simulate_hierarchy(gcc1_tiny, kb(4))
+        assert vc.l1_misses == plain.l1_misses
+
+    def test_fully_associative_buffer_beats_dm_equivalent(self, gcc1_tiny):
+        """The paper calls exclusive y<x 'a shared direct-mapped victim
+        cache'; the genuine fully-associative buffer of the same
+        capacity must do at least as well on conflict traffic."""
+        lines = 64  # 1 KB worth of 16 B lines
+        vc = simulate_victim_cache(gcc1_tiny, kb(4), victim_lines=lines)
+        excl = simulate_hierarchy(
+            gcc1_tiny, kb(4), lines * 16, 1, Policy.EXCLUSIVE
+        )
+        assert vc.miss_rate_below <= excl.global_miss_rate + 1e-3

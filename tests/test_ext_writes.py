@@ -1,0 +1,148 @@
+"""Write-back traffic accounting (§2.2's abstraction, quantified)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.directmap import dirty_victim_mask
+from repro.cache.hierarchy import Policy
+from repro.core.config import SystemConfig
+from repro.core.evaluate import evaluate
+from repro.errors import ConfigurationError
+from repro.ext.writes import count_write_traffic, evaluate_with_writes
+from repro.traces.address import Trace
+from repro.units import kb
+
+
+def reference_dirty(lines, stores, n_sets):
+    """Dict-based oracle for dirty-victim computation."""
+    resident = {}
+    dirty = {}
+    out = []
+    for line, store in zip(lines, stores):
+        index = line % n_sets
+        current = resident.get(index)
+        if current == line:
+            dirty[index] = dirty.get(index, False) or store
+            out.append(False)
+        else:
+            out.append(current is not None and dirty.get(index, False))
+            resident[index] = line
+            dirty[index] = store
+    return out
+
+
+class TestDirtyVictimMask:
+    def test_clean_stream_has_no_dirty_victims(self):
+        lines = np.array([1, 5, 1, 5])
+        stores = np.zeros(4, dtype=bool)
+        assert not dirty_victim_mask(lines, stores, 4).any()
+
+    def test_store_marks_victim_dirty(self):
+        # line 1 stored to, then evicted by line 5 (same set of 4).
+        lines = np.array([1, 5])
+        stores = np.array([True, False])
+        assert dirty_victim_mask(lines, stores, 4).tolist() == [False, True]
+
+    def test_dirtiness_cleared_after_eviction(self):
+        # 1 (store) -> 5 evicts dirty -> 1 evicts clean 5 -> 5 evicts clean 1
+        lines = np.array([1, 5, 1, 5])
+        stores = np.array([True, False, False, False])
+        assert dirty_victim_mask(lines, stores, 4).tolist() == [
+            False,
+            True,
+            False,
+            False,
+        ]
+
+    def test_empty_stream(self):
+        assert len(dirty_victim_mask(np.array([]), np.array([], dtype=bool), 4)) == 0
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            dirty_victim_mask(np.array([1, 2]), np.array([True]), 4)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(st.integers(0, 30), st.booleans()), min_size=1, max_size=200
+        ),
+        n_sets=st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_matches_reference(self, data, n_sets):
+        lines = np.array([d[0] for d in data], dtype=np.int64)
+        stores = np.array([d[1] for d in data], dtype=bool)
+        fast = dirty_victim_mask(lines, stores, n_sets).tolist()
+        assert fast == reference_dirty(lines.tolist(), stores.tolist(), n_sets)
+
+
+class TestCountWriteTraffic:
+    def test_single_level_all_dirty_victims_offchip(self, gcc1_tiny):
+        traffic = count_write_traffic(gcc1_tiny, kb(4))
+        assert traffic.l1_writebacks_offchip == traffic.l1_dirty_victims
+        assert traffic.l2_dirty_evictions == 0
+
+    def test_l2_absorbs_most_writebacks(self, gcc1_tiny):
+        single = count_write_traffic(gcc1_tiny, kb(4))
+        two = count_write_traffic(gcc1_tiny, kb(4), kb(64), 4)
+        assert two.offchip_writes < single.offchip_writes
+
+    def test_exclusive_keeps_dirty_data_on_chip(self, gcc1_tiny):
+        """Exclusion writes victims into the L2 unconditionally, so
+        fewer dirty lines fall straight off-chip than conventionally."""
+        conv = count_write_traffic(
+            gcc1_tiny, kb(4), kb(32), 4, Policy.CONVENTIONAL
+        )
+        excl = count_write_traffic(gcc1_tiny, kb(4), kb(32), 4, Policy.EXCLUSIVE)
+        assert excl.l1_writebacks_offchip == 0
+        assert excl.offchip_writes <= conv.offchip_writes * 1.5
+
+    def test_no_stores_no_traffic(self):
+        i = np.arange(100, dtype=np.int64) * 4
+        d = np.arange(50, dtype=np.int64) * 16 + (1 << 40)
+        trace = Trace("loads", i, d, np.arange(50, dtype=np.int64))
+        traffic = count_write_traffic(trace, 64, 1024, 4)
+        assert traffic.l1_dirty_victims == 0
+        assert traffic.offchip_writes == 0
+
+    def test_rates(self, gcc1_tiny):
+        traffic = count_write_traffic(gcc1_tiny, kb(4), kb(32), 4)
+        assert 0.0 <= traffic.writeback_rate_per_store <= 1.0
+        assert traffic.n_stores < traffic.n_data_refs
+
+    def test_bad_warmup(self, gcc1_tiny):
+        with pytest.raises(ConfigurationError):
+            count_write_traffic(gcc1_tiny, kb(4), warmup_fraction=1.0)
+
+
+class TestEvaluateWithWrites:
+    def test_overhead_small_vindicating_paper_abstraction(self, gcc1_tiny):
+        """The paper modelled writes as reads; with a write buffer the
+        TPI error that introduces should be small (a few percent)."""
+        result = evaluate_with_writes(
+            SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64)), gcc1_tiny
+        )
+        assert 0.0 <= result.writeback_overhead < 0.10
+
+    def test_no_buffer_costs_more(self, gcc1_tiny):
+        config = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64))
+        buffered = evaluate_with_writes(
+            config, gcc1_tiny, write_buffer_efficiency=0.9
+        )
+        raw = evaluate_with_writes(config, gcc1_tiny, write_buffer_efficiency=0.0)
+        assert raw.tpi_ns > buffered.tpi_ns
+
+    def test_perfect_buffer_equals_baseline(self, gcc1_tiny):
+        config = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64))
+        result = evaluate_with_writes(
+            config, gcc1_tiny, write_buffer_efficiency=1.0
+        )
+        baseline = evaluate(config, gcc1_tiny)
+        assert result.tpi_ns == pytest.approx(baseline.tpi_ns)
+
+    def test_validation(self, gcc1_tiny):
+        with pytest.raises(ConfigurationError):
+            evaluate_with_writes(
+                SystemConfig(l1_bytes=kb(8)), gcc1_tiny, write_buffer_efficiency=2.0
+            )

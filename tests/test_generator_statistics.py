@@ -1,0 +1,114 @@
+"""Statistical properties of the synthetic trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.traces.synthetic import (
+    InstructionModel,
+    StreamComponent,
+    SyntheticWorkload,
+    ZipfComponent,
+    _sample_zipf,
+    _zipf_cdf,
+)
+from repro.units import kb
+
+
+class TestZipfSampling:
+    def test_cdf_shape(self):
+        cdf = _zipf_cdf(100, 1.2)
+        assert len(cdf) == 100
+        assert cdf[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(cdf) > 0)
+
+    def test_rank1_frequency_matches_theory(self):
+        n, s = 50, 1.5
+        cdf = _zipf_cdf(n, s)
+        rng = np.random.default_rng(42)
+        draws = _sample_zipf(rng, cdf, 100_000)
+        expected = 1.0 / np.sum(np.arange(1, n + 1, dtype=float) ** (-s))
+        measured = (draws == 0).mean()
+        assert measured == pytest.approx(expected, rel=0.05)
+
+    def test_higher_exponent_concentrates_mass(self):
+        rng = np.random.default_rng(0)
+        flat = _sample_zipf(rng, _zipf_cdf(1000, 1.0), 20_000)
+        steep = _sample_zipf(rng, _zipf_cdf(1000, 2.0), 20_000)
+        # Top-10 share grows with the exponent.
+        assert (steep < 10).mean() > (flat < 10).mean()
+
+    def test_all_ranks_in_range(self):
+        rng = np.random.default_rng(1)
+        draws = _sample_zipf(rng, _zipf_cdf(16, 1.3), 5000)
+        assert draws.min() >= 0
+        assert draws.max() < 16
+
+
+class TestEffectiveWorkingSets:
+    def _data_only(self, component, n=40_000):
+        return SyntheticWorkload(
+            "stat",
+            InstructionModel(kb(4), 8, 1.2),
+            [component],
+            data_ratio=0.5,
+        ).generate(n)
+
+    def test_zipf_footprint_bounds_unique_lines(self):
+        component = ZipfComponent(weight=1.0, footprint_bytes=kb(32), exponent=1.4)
+        trace = self._data_only(component)
+        unique = len(np.unique(trace.d_lines(16)))
+        assert unique <= kb(32) // 16
+
+    def test_steeper_exponent_smaller_hot_set(self):
+        hot_sizes = {}
+        for exponent in (1.1, 1.9):
+            component = ZipfComponent(
+                weight=1.0, footprint_bytes=kb(64), exponent=exponent
+            )
+            trace = self._data_only(component)
+            lines, counts = np.unique(trace.d_lines(16), return_counts=True)
+            counts = np.sort(counts)[::-1]
+            cumulative = np.cumsum(counts) / counts.sum()
+            hot_sizes[exponent] = int(np.searchsorted(cumulative, 0.9)) + 1
+        assert hot_sizes[1.9] < hot_sizes[1.1]
+
+    def test_stream_unique_lines_match_arrays(self):
+        component = StreamComponent(
+            weight=1.0, n_arrays=2, array_bytes=kb(4), stride_bytes=16
+        )
+        trace = self._data_only(component, n=30_000)
+        unique = len(np.unique(trace.d_lines(16)))
+        assert unique == 2 * (kb(4) // 16)
+
+
+class TestInstructionStatistics:
+    def test_run_length_matches_function_size(self):
+        model = InstructionModel(footprint_bytes=kb(8), n_functions=16, exponent=1.3)
+        workload = SyntheticWorkload(
+            "runs",
+            model,
+            [ZipfComponent(weight=1.0, footprint_bytes=kb(4), exponent=1.3)],
+            data_ratio=0.3,
+        )
+        trace = workload.generate(20_000)
+        breaks = np.nonzero(np.diff(trace.i_addrs) != 4)[0]
+        run_lengths = np.diff(np.concatenate([[0], breaks + 1]))
+        # Runs are whole function bodies; occasionally two functions
+        # that happen to be adjacent in the address map are called
+        # back-to-back, merging runs — so the bound is a small multiple.
+        assert run_lengths.max() <= 4 * model.function_instructions
+        assert np.median(run_lengths) == model.function_instructions
+
+    def test_popular_functions_dominate(self):
+        model = InstructionModel(footprint_bytes=kb(32), n_functions=64, exponent=1.6)
+        workload = SyntheticWorkload(
+            "pop",
+            model,
+            [ZipfComponent(weight=1.0, footprint_bytes=kb(4), exponent=1.3)],
+            data_ratio=0.3,
+        )
+        trace = workload.generate(50_000)
+        functions = trace.i_addrs // model.function_bytes
+        _, counts = np.unique(functions, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        assert counts[:8].sum() > 0.5 * counts.sum()

@@ -1,0 +1,141 @@
+"""Hierarchy simulation: fast path vs reference oracle, warmup, stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_random_trace
+from repro.cache.hierarchy import (
+    DEFAULT_WARMUP_FRACTION,
+    Policy,
+    l1_miss_stream,
+    simulate_hierarchy,
+)
+from repro.cache.reference import reference_simulate_hierarchy
+from repro.errors import ConfigurationError
+from repro.traces.address import Trace
+from repro.units import kb
+
+
+class TestMissStream:
+    def test_memoised_per_trace_identity(self, gcc1_tiny):
+        a = l1_miss_stream(gcc1_tiny, kb(2))
+        b = l1_miss_stream(gcc1_tiny, kb(2))
+        assert a is b
+
+    def test_times_sorted(self, gcc1_tiny):
+        stream = l1_miss_stream(gcc1_tiny, kb(1))
+        assert np.all(np.diff(stream.times) >= 0)
+
+    def test_instruction_before_data_at_same_time(self):
+        # Craft a trace where instruction and data miss in the same cycle.
+        trace = Trace(
+            "t", np.array([0, 16]), np.array([1 << 40]), np.array([0])
+        )
+        stream = l1_miss_stream(trace, kb(1))
+        assert stream.times[0] == stream.times[1] == 0
+        assert bool(stream.is_instruction[0]) is True
+        assert bool(stream.is_instruction[1]) is False
+
+    def test_counts_add_up(self, gcc1_tiny):
+        stream = l1_miss_stream(gcc1_tiny, kb(4))
+        assert stream.l1i_misses + stream.l1d_misses == len(stream)
+        assert stream.l1i_misses == int(stream.is_instruction.sum())
+
+    def test_larger_cache_fewer_misses(self, gcc1_tiny):
+        small = l1_miss_stream(gcc1_tiny, kb(1))
+        large = l1_miss_stream(gcc1_tiny, kb(32))
+        assert len(large) < len(small)
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("policy", list(Policy))
+    @pytest.mark.parametrize("l2_kb,assoc", [(8, 1), (8, 4), (16, 2)])
+    def test_matches_reference_on_workload(self, gcc1_tiny, policy, l2_kb, assoc):
+        fast = simulate_hierarchy(gcc1_tiny, kb(1), kb(l2_kb), assoc, policy)
+        slow = reference_simulate_hierarchy(gcc1_tiny, kb(1), kb(l2_kb), assoc, policy)
+        assert fast == slow
+
+    def test_matches_reference_single_level(self, gcc1_tiny):
+        fast = simulate_hierarchy(gcc1_tiny, kb(2))
+        slow = reference_simulate_hierarchy(gcc1_tiny, kb(2))
+        assert fast == slow
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        policy=st.sampled_from(list(Policy)),
+        assoc=st.sampled_from([1, 2, 4]),
+    )
+    def test_matches_reference_on_random_traces(self, seed, policy, assoc):
+        trace = make_random_trace(seed, n_instructions=300, n_lines=48)
+        fast = simulate_hierarchy(trace, 1024, 4096, assoc, policy)
+        slow = reference_simulate_hierarchy(trace, 1024, 4096, assoc, policy)
+        assert fast == slow
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_dm_l2_fast_path_matches_loop_semantics(self, seed):
+        # The conventional DM L2 uses a vectorised shortcut; the
+        # reference exercises the generic stateful path.
+        trace = make_random_trace(seed, n_instructions=400, n_lines=80)
+        fast = simulate_hierarchy(trace, 512, 2048, 1, Policy.CONVENTIONAL)
+        slow = reference_simulate_hierarchy(trace, 512, 2048, 1, Policy.CONVENTIONAL)
+        assert fast == slow
+
+
+class TestWarmup:
+    def test_default_warmup_fraction(self):
+        assert DEFAULT_WARMUP_FRACTION == 0.25
+
+    def test_counts_cover_post_warmup_window(self, gcc1_tiny):
+        stats = simulate_hierarchy(gcc1_tiny, kb(4), warmup_fraction=0.5)
+        assert stats.n_instructions == gcc1_tiny.n_instructions - int(
+            gcc1_tiny.n_instructions * 0.5
+        )
+
+    def test_zero_warmup_counts_everything(self, gcc1_tiny):
+        stats = simulate_hierarchy(gcc1_tiny, kb(4), warmup_fraction=0.0)
+        assert stats.n_instructions == gcc1_tiny.n_instructions
+        assert stats.n_data_refs == gcc1_tiny.n_data_refs
+
+    def test_warmup_lowers_measured_miss_rate(self, gcc1_tiny):
+        cold = simulate_hierarchy(gcc1_tiny, kb(16), warmup_fraction=0.0)
+        warm = simulate_hierarchy(gcc1_tiny, kb(16), warmup_fraction=0.5)
+        assert warm.l1_miss_rate <= cold.l1_miss_rate
+
+    def test_invalid_fraction_rejected(self, gcc1_tiny):
+        with pytest.raises(ConfigurationError):
+            simulate_hierarchy(gcc1_tiny, kb(4), warmup_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            simulate_hierarchy(gcc1_tiny, kb(4), warmup_fraction=-0.1)
+
+
+class TestStatsShape:
+    def test_single_level_has_no_l2_counts(self, gcc1_tiny):
+        stats = simulate_hierarchy(gcc1_tiny, kb(4))
+        assert not stats.has_l2
+        assert stats.l2_hits == 0
+        assert stats.off_chip_fetches == stats.l1_misses
+
+    def test_two_level_partition(self, gcc1_tiny):
+        stats = simulate_hierarchy(gcc1_tiny, kb(1), kb(16), 4)
+        assert stats.has_l2
+        assert stats.l2_hits + stats.l2_misses == stats.l1_misses
+        assert stats.off_chip_fetches == stats.l2_misses
+
+    def test_negative_l2_rejected(self, gcc1_tiny):
+        with pytest.raises(ConfigurationError):
+            simulate_hierarchy(gcc1_tiny, kb(1), -4)
+
+    def test_l2_strictly_helps_off_chip_traffic(self, gcc1_tiny):
+        single = simulate_hierarchy(gcc1_tiny, kb(2))
+        two = simulate_hierarchy(gcc1_tiny, kb(2), kb(32), 4)
+        assert two.off_chip_fetches <= single.off_chip_fetches
+
+    def test_l1_misses_independent_of_l2(self, gcc1_tiny):
+        a = simulate_hierarchy(gcc1_tiny, kb(2), kb(8), 1, Policy.CONVENTIONAL)
+        b = simulate_hierarchy(gcc1_tiny, kb(2), kb(64), 4, Policy.EXCLUSIVE)
+        assert a.l1i_misses == b.l1i_misses
+        assert a.l1d_misses == b.l1d_misses

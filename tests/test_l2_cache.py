@@ -1,0 +1,92 @@
+"""Set-associative cache operations: lookup, fill, invalidate."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.l2 import INVALID, SetAssociativeCache
+from repro.cache.replacement import LruReplacement
+
+
+def make_cache(size=256, assoc=2):
+    # 256 B, 16 B lines, 2-way -> 8 sets
+    return SetAssociativeCache(CacheGeometry(size, associativity=assoc))
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.lookup(5)
+        assert cache.fill(5) is None
+        assert cache.lookup(5)
+
+    def test_contains_does_not_touch(self):
+        cache = make_cache()
+        cache.fill(5)
+        assert cache.contains(5)
+        assert not cache.contains(13)
+
+    def test_fill_uses_invalid_ways_first(self):
+        cache = make_cache()
+        # set 0 of 8 sets: lines 0 and 8
+        assert cache.fill(0) is None
+        assert cache.fill(8) is None
+        assert cache.contains(0) and cache.contains(8)
+
+    def test_fill_evicts_when_set_full(self):
+        cache = make_cache()
+        cache.fill(0)
+        cache.fill(8)
+        evicted = cache.fill(16)  # same set, full
+        assert evicted in (0, 8)
+        assert cache.contains(16)
+        assert cache.n_valid_lines == 2
+
+    def test_refill_of_resident_line_is_noop(self):
+        cache = make_cache()
+        cache.fill(3)
+        assert cache.fill(3) is None
+        assert cache.n_valid_lines == 1
+
+    def test_direct_mapped_always_evicts_resident(self):
+        cache = make_cache(assoc=1)
+        cache.fill(0)
+        assert cache.fill(16) == 0  # 16 sets? no: 256B DM -> 16 sets... line 16 % 16 == 0
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.fill(7)
+        assert cache.invalidate(7)
+        assert not cache.contains(7)
+        assert not cache.invalidate(7)  # second time: not present
+
+    def test_resident_lines_sorted(self):
+        cache = make_cache()
+        for line in (9, 1, 18):  # sets 1, 1, 2 of the 8-set cache
+            cache.fill(line)
+        assert cache.resident_lines().tolist() == [1, 9, 18]
+
+    def test_set_contents_copy(self):
+        cache = make_cache()
+        cache.fill(0)
+        row = cache.set_contents(0)
+        row[0] = 999  # mutating the copy must not affect the cache
+        assert cache.contains(0)
+        assert INVALID in cache.set_contents(0)
+
+
+class TestWithLru:
+    def test_lru_eviction_order(self):
+        geometry = CacheGeometry(256, associativity=2)  # 8 sets
+        cache = SetAssociativeCache(
+            geometry, replacement=LruReplacement(2, geometry.n_sets)
+        )
+        cache.fill(0)   # set 0, way 0
+        cache.fill(8)   # set 0, way 1
+        cache.lookup(0)  # 0 becomes MRU
+        assert cache.fill(16) == 8  # LRU way held line 8
+
+    def test_capacity_never_exceeded(self):
+        cache = make_cache(size=128, assoc=4)  # 8 lines, 2 sets
+        for line in range(40):
+            cache.fill(line)
+        assert cache.n_valid_lines <= 8

@@ -1,0 +1,61 @@
+"""LFSR pseudo-random replacement source."""
+
+import pytest
+
+from repro.lfsr import Lfsr16
+
+
+class TestLfsr16:
+    def test_rejects_zero_seed(self):
+        with pytest.raises(ValueError):
+            Lfsr16(0)
+
+    def test_rejects_zero_seed_modulo_16_bits(self):
+        with pytest.raises(ValueError):
+            Lfsr16(0x10000)
+
+    def test_deterministic(self):
+        a, b = Lfsr16(123), Lfsr16(123)
+        assert [a.step() for _ in range(100)] == [b.step() for _ in range(100)]
+
+    def test_never_reaches_zero(self):
+        lfsr = Lfsr16(1)
+        for _ in range(5000):
+            assert lfsr.step() != 0
+
+    def test_maximal_period(self):
+        lfsr = Lfsr16(0xACE1)
+        start = lfsr.state
+        count = 0
+        while True:
+            lfsr.step()
+            count += 1
+            if lfsr.state == start:
+                break
+        assert count == Lfsr16.period() == 2**16 - 1
+
+    def test_next_way_in_range(self):
+        lfsr = Lfsr16()
+        for assoc in (1, 2, 3, 4, 8):
+            ways = {lfsr.next_way(assoc) for _ in range(200)}
+            assert ways <= set(range(assoc))
+            if assoc > 1:
+                assert len(ways) > 1  # actually varies
+
+    def test_next_way_uniform_for_pow2(self):
+        lfsr = Lfsr16()
+        counts = [0, 0, 0, 0]
+        for _ in range(40000):
+            counts[lfsr.next_way(4)] += 1
+        for c in counts:
+            assert abs(c - 10000) < 600
+
+    def test_next_way_rejects_bad_assoc(self):
+        with pytest.raises(ValueError):
+            Lfsr16().next_way(0)
+
+    def test_associativity_one_does_not_advance_state(self):
+        lfsr = Lfsr16()
+        before = lfsr.state
+        assert lfsr.next_way(1) == 0
+        assert lfsr.state == before

@@ -1,0 +1,240 @@
+"""Integration tests for the paper's qualitative claims (full scale).
+
+Each test corresponds to a sentence in the paper's evaluation or
+conclusions; EXPERIMENTS.md cross-references them.  Full-scale sweeps
+are expensive, so they are computed once per module via fixtures and
+shared (the library memoises simulations by cache shape, so the 50 ns /
+200 ns spaces share all their simulation work).
+"""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from conftest import FULL
+from repro.cache.hierarchy import Policy
+from repro.core.config import SystemConfig
+from repro.core.envelope import best_envelope, envelope_tpi_at
+from repro.core.explorer import design_space, standard_l1_sizes, sweep
+from repro.units import kb
+
+BASE = SystemConfig(l1_bytes=kb(1))
+
+
+def _sweep(workload, **overrides):
+    template = replace(BASE, **overrides) if overrides else BASE
+    return sweep(workload, design_space(template), scale=FULL)
+
+
+@pytest.fixture(scope="module")
+def gcc1_50():
+    return _sweep("gcc1")
+
+
+@pytest.fixture(scope="module")
+def gcc1_200():
+    return _sweep("gcc1", off_chip_ns=200.0)
+
+
+@pytest.fixture(scope="module")
+def gcc1_50_exclusive():
+    return _sweep("gcc1", policy=Policy.EXCLUSIVE)
+
+
+@pytest.fixture(scope="module")
+def gcc1_50_dm_l2():
+    return _sweep("gcc1", l2_associativity=1)
+
+
+def singles(perfs):
+    return [p for p in perfs if not p.config.has_l2]
+
+
+class TestSection3SingleLevel:
+    """'All seven workloads exhibit a minimum TPI between 8KB and 128KB.'"""
+
+    @pytest.mark.parametrize(
+        "workload", ["gcc1", "espresso", "li", "eqntott", "tomcatv"]
+    )
+    def test_interior_tpi_minimum(self, workload):
+        perfs = sweep(
+            workload,
+            design_space(BASE, l2_sizes=[0]),
+            scale=FULL,
+        )
+        tpis = {p.config.l1_bytes: p.tpi_ns for p in perfs}
+        best_size = min(tpis, key=tpis.get)
+        assert kb(8) <= best_size <= kb(128), workload
+        # and the largest cache is strictly worse than the best
+        assert tpis[kb(256)] > tpis[best_size]
+
+
+class TestSection4Baseline:
+    def test_tiny_l2_is_dominated(self, gcc1_50):
+        """'1KB first-level caches with a 2KB second-level cache would
+        be a bad choice ... the "2:0" configuration occupies
+        approximately the same area, and has a lower TPI.'"""
+        by_label = {p.label: p for p in gcc1_50}
+        assert by_label["2:0"].tpi_ns < by_label["1:2"].tpi_ns
+        assert by_label["2:0"].area_rbe < 1.5 * by_label["1:2"].area_rbe
+
+    def test_two_level_wins_only_at_large_areas(self, gcc1_50):
+        """'single-level configurations tend to dominate ... below about
+        300,000 rbe's, while for larger available areas, two-level
+        configurations become marginally preferable.'"""
+        env = best_envelope(gcc1_50)
+        two_level_corners = [p for p in env if p.performance.config.has_l2]
+        assert two_level_corners, "two-level configs must appear on the envelope"
+        assert min(p.area_rbe for p in two_level_corners) > 250_000
+
+    def test_envelope_reaches_lower_tpi_than_singles(self, gcc1_50):
+        env_all = best_envelope(gcc1_50)
+        env_single = best_envelope(singles(gcc1_50))
+        assert env_all[-1].tpi_ns < env_single[-1].tpi_ns
+
+
+class TestSection5DirectMappedL2:
+    def test_4way_l2_slightly_better_at_area(self, gcc1_50, gcc1_50_dm_l2):
+        """'For most benchmarks, 4-way set-associative caches perform
+        slightly better than direct-mapped caches' (at equal area)."""
+        env4 = best_envelope(gcc1_50)
+        env1 = best_envelope(gcc1_50_dm_l2)
+        budget = 2_000_000.0
+        assert envelope_tpi_at(env4, budget) <= envelope_tpi_at(env1, budget) * 1.02
+
+    def test_dm_l2_still_beats_single_level(self, gcc1_50_dm_l2):
+        env = best_envelope(gcc1_50_dm_l2)
+        env_single = best_envelope(singles(gcc1_50_dm_l2))
+        assert env[-1].tpi_ns < env_single[-1].tpi_ns
+
+
+class TestSection7LongOffChip:
+    def test_small_cache_penalty_about_3x(self, gcc1_50, gcc1_200):
+        """'A system with 1KB on-chip caches pays a penalty of about 3X
+        in run time' at 200 ns."""
+        tpi50 = next(p.tpi_ns for p in gcc1_50 if p.label == "1:0")
+        tpi200 = next(p.tpi_ns for p in gcc1_200 if p.label == "1:0")
+        assert 2.3 <= tpi200 / tpi50 <= 4.2
+
+    def test_big_hierarchy_less_sensitive(self, gcc1_50, gcc1_200):
+        """'For a system with 32KB L1 ... 256KB L2 ... much less
+        difference between 50ns and 200ns.'"""
+        small_ratio = next(
+            p.tpi_ns for p in gcc1_200 if p.label == "1:0"
+        ) / next(p.tpi_ns for p in gcc1_50 if p.label == "1:0")
+        big_ratio = next(
+            p.tpi_ns for p in gcc1_200 if p.label == "32:256"
+        ) / next(p.tpi_ns for p in gcc1_50 if p.label == "32:256")
+        assert big_ratio < 0.6 * small_ratio
+
+    def test_two_level_gap_larger_at_200ns(self, gcc1_50, gcc1_200):
+        """'the "distance" between the single-level and two-level
+        best-performance envelopes is larger when the off-chip time is
+        200ns.'"""
+
+        def gap(perfs):
+            env_all = best_envelope(perfs)
+            env_single = best_envelope(singles(perfs))
+            budgets = [5e5, 1e6, 2e6, 3e6]
+            total = 0.0
+            for budget in budgets:
+                a = envelope_tpi_at(env_all, budget)
+                s = envelope_tpi_at(env_single, budget)
+                if math.isfinite(a) and math.isfinite(s):
+                    total += (s - a) / s
+            return total
+
+        assert gap(gcc1_200) > gap(gcc1_50)
+
+
+class TestSection8Exclusive:
+    def test_exclusive_never_hurts_two_level_configs(
+        self, gcc1_50, gcc1_50_exclusive
+    ):
+        for conv, excl in zip(gcc1_50, gcc1_50_exclusive):
+            if conv.config.has_l2:
+                assert excl.tpi_ns <= conv.tpi_ns + 1e-9, conv.label
+
+    def test_exclusive_envelope_dominates_conventional(
+        self, gcc1_50, gcc1_50_exclusive
+    ):
+        env_c = best_envelope(gcc1_50)
+        env_e = best_envelope(gcc1_50_exclusive)
+        for budget in (5e5, 1e6, 2e6, 3e6):
+            assert envelope_tpi_at(env_e, budget) <= envelope_tpi_at(
+                env_c, budget
+            ) + 1e-9
+
+    def test_exclusive_dm_about_as_good_as_conventional_4way(
+        self, gcc1_50, gcc1_50_dm_l2
+    ):
+        """'the exclusive caching scheme with a direct-mapped second-
+        level cache performs about as well as ... a 4-way set-
+        associative second-level cache' (non-exclusive)."""
+        excl_dm = sweep(
+            "gcc1",
+            design_space(
+                replace(BASE, policy=Policy.EXCLUSIVE, l2_associativity=1)
+            ),
+            scale=FULL,
+        )
+        env_excl_dm = best_envelope(excl_dm)
+        env_conv_4way = best_envelope(gcc1_50)
+        for budget in (1e6, 2e6, 3e6):
+            a = envelope_tpi_at(env_excl_dm, budget)
+            b = envelope_tpi_at(env_conv_4way, budget)
+            assert a == pytest.approx(b, rel=0.08)
+
+    def test_exclusive_4way_best_of_all(self, gcc1_50, gcc1_50_exclusive):
+        """'Combining set-associativity and exclusive caching can
+        improve performance beyond what either technique alone
+        accomplishes.'"""
+        excl_dm = sweep(
+            "gcc1",
+            design_space(
+                replace(BASE, policy=Policy.EXCLUSIVE, l2_associativity=1)
+            ),
+            scale=FULL,
+        )
+        budget = 2e6
+        best_combined = envelope_tpi_at(best_envelope(gcc1_50_exclusive), budget)
+        assert best_combined <= envelope_tpi_at(best_envelope(gcc1_50), budget) + 1e-9
+        assert best_combined <= envelope_tpi_at(best_envelope(excl_dm), budget) + 1e-9
+
+
+class TestSection6DualPorted:
+    @pytest.fixture(scope="class")
+    def espresso_spaces(self):
+        base = sweep("espresso", design_space(BASE, l2_sizes=[0]), scale=FULL)
+        dual = sweep(
+            "espresso",
+            design_space(BASE.dual_ported(), l2_sizes=[0]),
+            scale=FULL,
+        )
+        return base, dual
+
+    def test_dual_port_same_capacity_always_faster(self, espresso_spaces):
+        """'Moving from a cache with single-ported cells to the same-
+        capacity cache with dual-ported cells, however, always improves
+        performance.'"""
+        base, dual = espresso_spaces
+        for b, d in zip(base, dual):
+            assert d.tpi_ns < b.tpi_ns
+
+    def test_crossover_with_area(self, espresso_spaces):
+        """'the base cell is preferred for small caches, while for
+        larger caches, the dual-ported cell gives a better performance
+        for a fixed area' — crossover between 50k and 400k rbe for most
+        workloads (espresso crosses early; gcc1 late)."""
+        base, dual = espresso_spaces
+        env_base = best_envelope(base)
+        env_dual = best_envelope(dual)
+        small, large = 3e4, 2e6
+        # by the large budget the dual-ported envelope must win
+        assert envelope_tpi_at(env_dual, large) < envelope_tpi_at(env_base, large)
+        # and at a very small budget dual porting cannot be better by much
+        a = envelope_tpi_at(env_dual, small)
+        b = envelope_tpi_at(env_base, small)
+        if math.isfinite(a) and math.isfinite(b):
+            assert a > 0.8 * b

@@ -1,0 +1,106 @@
+"""Additional paper claims at moderate scale (complements
+``test_paper_claims.py``, which runs the headline set at full scale)."""
+
+import pytest
+
+from conftest import MEDIUM
+from repro.cache.hierarchy import Policy, simulate_hierarchy
+from repro.core.config import SystemConfig
+from repro.core.envelope import best_envelope
+from repro.core.explorer import design_space, sweep
+from repro.traces.store import get_trace
+from repro.units import kb
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {name: get_trace(name, MEDIUM) for name in ("gcc1", "espresso", "tomcatv", "li")}
+
+
+class TestSection8AssociativityCapacityInteraction:
+    """'the increase in capacity provided by two-level exclusive caching
+    increases as the second level of caching is made more associative.'"""
+
+    def test_exclusive_beats_conventional_at_both_associativities(self, traces):
+        trace = traces["gcc1"]
+        for assoc in (1, 4):
+            conv = simulate_hierarchy(trace, kb(8), kb(32), assoc, Policy.CONVENTIONAL)
+            excl = simulate_hierarchy(trace, kb(8), kb(32), assoc, Policy.EXCLUSIVE)
+            assert excl.l2_misses < conv.l2_misses, assoc
+
+    def test_combined_technique_beats_each_alone(self, traces):
+        trace = traces["gcc1"]
+        conv_dm = simulate_hierarchy(trace, kb(8), kb(32), 1, Policy.CONVENTIONAL)
+        conv_4w = simulate_hierarchy(trace, kb(8), kb(32), 4, Policy.CONVENTIONAL)
+        excl_dm = simulate_hierarchy(trace, kb(8), kb(32), 1, Policy.EXCLUSIVE)
+        excl_4w = simulate_hierarchy(trace, kb(8), kb(32), 4, Policy.EXCLUSIVE)
+        assert excl_4w.l2_misses <= min(conv_4w.l2_misses, excl_dm.l2_misses)
+        # and both single techniques beat the plain baseline
+        assert conv_4w.l2_misses < conv_dm.l2_misses
+        assert excl_dm.l2_misses < conv_dm.l2_misses
+
+    def test_exclusion_vs_associativity_comparable(self, traces):
+        """§8: 'neither is found to be significantly more effective
+        than the other' (gcc1)."""
+        trace = traces["gcc1"]
+        conv_4w = simulate_hierarchy(trace, kb(8), kb(32), 4, Policy.CONVENTIONAL)
+        excl_dm = simulate_hierarchy(trace, kb(8), kb(32), 1, Policy.EXCLUSIVE)
+        ratio = excl_dm.l2_misses / conv_4w.l2_misses
+        assert 0.6 < ratio < 1.6
+
+
+class TestSection4PerWorkload:
+    def test_low_miss_rate_workloads_gain_least_from_l2(self, traces):
+        """espresso's tiny working set leaves an L2 little to do."""
+
+        def l2_benefit(trace):
+            single = simulate_hierarchy(trace, kb(16))
+            two = simulate_hierarchy(trace, kb(16), kb(128), 4)
+            saved = single.off_chip_fetches - two.off_chip_fetches
+            return saved / single.n_refs
+
+        assert l2_benefit(traces["espresso"]) < l2_benefit(traces["gcc1"])
+
+    def test_tomcatv_l2_benefit_is_small(self, traces):
+        """Streaming defeats capacity: tomcatv's off-chip rate barely
+        moves with a 256 KB L2 behind 8 KB L1s."""
+        trace = traces["tomcatv"]
+        single = simulate_hierarchy(trace, kb(8))
+        two = simulate_hierarchy(trace, kb(8), kb(256), 4)
+        assert two.global_miss_rate > 0.6 * single.global_miss_rate
+
+    def test_li_mid_size_sweet_spot(self, traces):
+        """li's envelope concentrates on small L1s with mid-size L2s."""
+        perfs = sweep(
+            "li", design_space(SystemConfig(l1_bytes=kb(1))), scale=MEDIUM
+        )
+        env = best_envelope(perfs)
+        two_level = [p for p in env if p.performance.config.has_l2]
+        assert two_level, "li must have two-level envelope corners"
+        assert min(p.performance.config.l1_bytes for p in two_level) <= kb(16)
+
+
+class TestSection6PerWorkload:
+    @pytest.mark.parametrize("workload", ["espresso", "tomcatv"])
+    def test_dual_ported_envelope_dominates_at_scale(self, workload):
+        """§6: 'In eqntott and with all but 1KB caches in espresso the
+        dual-ported cells are preferred' — low-miss-rate workloads value
+        bandwidth over capacity; streaming tomcatv likewise crosses
+        early."""
+        base = sweep(
+            workload,
+            design_space(SystemConfig(l1_bytes=kb(1)), l2_sizes=[0]),
+            scale=MEDIUM,
+        )
+        dual = sweep(
+            workload,
+            design_space(SystemConfig(l1_bytes=kb(1)).dual_ported(), l2_sizes=[0]),
+            scale=MEDIUM,
+        )
+        # Same-capacity comparison: dual-ported always faster...
+        for b, d in zip(base, dual):
+            assert d.tpi_ns < b.tpi_ns
+        # ...and at the large-area end it wins even per unit area.
+        env_b = best_envelope(base)
+        env_d = best_envelope(dual)
+        assert env_d[-1].tpi_ns < env_b[-1].tpi_ns

@@ -1,0 +1,99 @@
+"""ASCII log-log plot rendering."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.study.plot import plot_experiment, plot_series
+from repro.study.registry import ExperimentResult, Series
+
+
+def series(name, rows, columns=("config", "area_rbe", "tpi_ns")):
+    return Series(name=name, columns=columns, rows=tuple(rows))
+
+
+class TestPlotSeries:
+    def test_points_appear_with_series_glyphs(self):
+        s1 = series("alpha", [("a", 1e4, 5.0), ("b", 1e6, 2.0)])
+        s2 = series("beta", [("c", 1e5, 10.0)])
+        plot = plot_series([s1, s2])
+        text = plot.render()
+        assert "o" in text and "x" in text
+        assert ("o", "alpha") in plot.legend
+        assert ("x", "beta") in plot.legend
+
+    def test_axes_labelled_with_log_ticks(self):
+        s = series("a", [("p", 1e4, 1.0), ("q", 1e6, 100.0)])
+        text = plot_series([s]).render()
+        assert "100k" in text or "1M" in text
+        assert "10" in text
+
+    def test_single_point_renders(self):
+        s = series("a", [("p", 5e4, 7.0)])
+        text = plot_series([s]).render()
+        assert "o" in text
+
+    def test_non_positive_points_skipped(self):
+        s = series("a", [("p", 0.0, 5.0), ("q", 1e5, 4.0)])
+        plot = plot_series([s])
+        body = "\n".join(plot.lines)
+        assert body.count("o") == 1
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ExperimentError):
+            plot_series([series("a", [])])
+
+    def test_dimensions_respected(self):
+        s = series("a", [("p", 1e4, 1.0), ("q", 1e6, 10.0)])
+        plot = plot_series([s], width=40, height=10)
+        data_rows = [line for line in plot.lines if "|" in line and "+" not in line]
+        assert len(data_rows) >= 10
+
+    def test_glyphs_cycle_beyond_eight_series(self):
+        many = [
+            series(f"s{i}", [(f"p{i}", 10.0 ** (4 + i / 10), float(i + 1))])
+            for i in range(10)
+        ]
+        plot = plot_series(many)
+        assert plot.legend[0][0] == plot.legend[8][0]  # cycled
+
+
+class TestPlotExperiment:
+    def test_plots_figure_result(self):
+        result = ExperimentResult(
+            experiment_id="figX",
+            title="demo",
+            series=(series("env", [("a", 1e4, 5.0), ("b", 1e6, 3.0)]),),
+        )
+        text = plot_experiment(result)
+        assert "figX" in text and "log-log" in text
+
+    def test_selecting_named_series(self):
+        result = ExperimentResult(
+            experiment_id="figX",
+            title="demo",
+            series=(
+                series("one", [("a", 1e4, 5.0)]),
+                series("two", [("b", 1e5, 4.0)]),
+            ),
+        )
+        text = plot_experiment(result, series_names=["two"])
+        assert "two" in text and "  one" not in text
+
+    def test_table_only_result_raises(self):
+        result = ExperimentResult(
+            experiment_id="table1",
+            title="refs",
+            series=(series("t", [("gcc1", 1)], columns=("program", "refs")),),
+        )
+        with pytest.raises(ExperimentError):
+            plot_experiment(result)
+
+
+class TestCliPlot:
+    def test_plot_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["plot", "fig4", "--scale", "0.02", "--width", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "log-log" in out
+        assert "tomcatv" in out

@@ -1,0 +1,98 @@
+"""Dynamic-energy model and the paper's power claim (intro advantage 5)."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.errors import ModelError
+from repro.power.energy import (
+    cache_access_energy,
+    optimal_access_energy,
+)
+from repro.power.system import energy_per_instruction
+from repro.cache.geometry import CacheGeometry
+from repro.timing.optimal import optimal_timing
+from repro.timing.organization import ArrayOrganization
+from repro.units import kb
+
+
+class TestAccessEnergy:
+    def test_breakdown_sums(self):
+        e = optimal_access_energy(kb(8))
+        parts = (
+            e.decode + e.wordline + e.bitlines + e.sense_amps + e.tag_path + e.output
+        )
+        assert e.total == pytest.approx(parts)
+
+    def test_energy_grows_with_size(self):
+        totals = [
+            optimal_access_energy(kb(k)).total for k in (1, 4, 16, 64, 256)
+        ]
+        assert all(a < b for a, b in zip(totals, totals[1:]))
+
+    def test_bitlines_dominate_large_arrays(self):
+        """The intro's argument: long bit lines are the energy cost."""
+        e = optimal_access_energy(kb(256))
+        assert e.bitlines > 0.5 * e.total
+
+    def test_small_cache_far_cheaper_per_access(self):
+        small = optimal_access_energy(kb(1)).total
+        large = optimal_access_energy(kb(256)).total
+        assert large > 5 * small
+
+    def test_subarray_splitting_saves_energy(self):
+        """Splitting shortens the switched lines (speed and power agree)."""
+        g = CacheGeometry(kb(64))
+        flat = cache_access_energy(g, ArrayOrganization(1, 1, 1, 1, 1, 1))
+        split = cache_access_energy(g, ArrayOrganization(4, 8, 1, 2, 4, 1))
+        assert split.bitlines < flat.bitlines
+
+    def test_dual_port_costs_energy(self):
+        single = optimal_access_energy(kb(8), ports=1).total
+        double = optimal_access_energy(kb(8), ports=2).total
+        assert double > single
+
+    def test_rejects_bad_ports(self):
+        g = CacheGeometry(kb(8))
+        org = optimal_timing(kb(8)).organization
+        with pytest.raises(ModelError):
+            cache_access_energy(g, org, ports=0)
+
+    def test_memoised(self):
+        assert optimal_access_energy(kb(8)) is optimal_access_energy(kb(8))
+
+
+class TestSystemEnergy:
+    def test_intro_claim_5_two_level_uses_less_power(self, gcc1_tiny):
+        """'a chip with a two-level cache will usually use less power
+        [than] one with a single-level organization (assuming the area
+        devoted to the cache is the same)'."""
+        single = SystemConfig(l1_bytes=kb(64))
+        two = SystemConfig(l1_bytes=kb(8), l2_bytes=kb(128))
+        e_single = energy_per_instruction(single, gcc1_tiny)
+        e_two = energy_per_instruction(two, gcc1_tiny)
+        assert e_two.on_chip_epi_pj < e_single.on_chip_epi_pj
+        assert e_two.epi_pj < e_single.epi_pj
+
+    def test_l1_energy_dominates_when_hit_rate_high(self, gcc1_tiny):
+        config = SystemConfig(l1_bytes=kb(32), l2_bytes=kb(128))
+        energy = energy_per_instruction(config, gcc1_tiny)
+        assert energy.l1_energy_pj > energy.l2_energy_pj
+
+    def test_single_level_has_no_l2_term(self, gcc1_tiny):
+        energy = energy_per_instruction(SystemConfig(l1_bytes=kb(8)), gcc1_tiny)
+        assert energy.l2_access_pj == 0.0
+        assert energy.l2_energy_pj == 0.0
+
+    def test_off_chip_term_scales_with_misses(self, gcc1_tiny):
+        small = energy_per_instruction(SystemConfig(l1_bytes=kb(1)), gcc1_tiny)
+        large = energy_per_instruction(SystemConfig(l1_bytes=kb(64)), gcc1_tiny)
+        assert small.off_chip_energy_pj > large.off_chip_energy_pj
+
+    def test_totals_consistent(self, gcc1_tiny):
+        energy = energy_per_instruction(
+            SystemConfig(l1_bytes=kb(4), l2_bytes=kb(32)), gcc1_tiny
+        )
+        assert energy.total_pj == pytest.approx(
+            energy.l1_energy_pj + energy.l2_energy_pj + energy.off_chip_energy_pj
+        )
+        assert energy.epi_pj > energy.on_chip_epi_pj

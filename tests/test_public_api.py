@@ -1,0 +1,63 @@
+"""Public API surface: everything advertised must resolve and work."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelSurface:
+    def test_all_symbols_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_docstring_quickstart_runs(self):
+        """The module docstring promises this snippet works."""
+        config = repro.SystemConfig(l1_bytes=repro.kb(8), l2_bytes=repro.kb(64))
+        perf = repro.evaluate(config, "gcc1", scale=0.02)
+        assert perf.tpi_ns > 0
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.traces",
+            "repro.traces.io",
+            "repro.cache",
+            "repro.timing",
+            "repro.area",
+            "repro.power",
+            "repro.core",
+            "repro.ext",
+            "repro.study",
+            "repro.study.plot",
+            "repro.study.sensitivity",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_importable_with_docstrings(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__ and len(mod.__doc__) > 40
+
+    def test_subpackage_alls_resolve(self):
+        for module_name in ("repro.traces", "repro.cache", "repro.ext", "repro.power"):
+            mod = importlib.import_module(module_name)
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{module_name}.{name}"
+
+
+class TestWorkloadNamesStable:
+    def test_the_seven_benchmarks(self):
+        assert repro.workload_names() == [
+            "gcc1",
+            "espresso",
+            "fpppp",
+            "doduc",
+            "li",
+            "eqntott",
+            "tomcatv",
+        ]

@@ -1,0 +1,60 @@
+"""Replacement policies: LFSR pseudo-random and LRU extension."""
+
+import pytest
+
+from repro.cache.replacement import LfsrReplacement, LruReplacement
+
+
+class TestLfsrReplacement:
+    def test_victims_in_range(self):
+        policy = LfsrReplacement(4)
+        for _ in range(100):
+            assert 0 <= policy.victim_way(0) < 4
+
+    def test_deterministic_sequence(self):
+        a = LfsrReplacement(4, seed=99)
+        b = LfsrReplacement(4, seed=99)
+        assert [a.victim_way(0) for _ in range(50)] == [
+            b.victim_way(0) for _ in range(50)
+        ]
+
+    def test_touch_is_stateless(self):
+        policy = LfsrReplacement(4)
+        policy.touch(0, 2)  # must not raise or change the stream
+        a = policy.victim_way(0)
+        assert isinstance(a, int)
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ValueError):
+            LfsrReplacement(0)
+
+
+class TestLruReplacement:
+    def test_initial_victim_is_highest_way(self):
+        policy = LruReplacement(4, n_sets=2)
+        assert policy.victim_way(0) == 3
+
+    def test_touch_moves_to_front(self):
+        policy = LruReplacement(4, n_sets=1)
+        policy.touch(0, 3)
+        assert policy.recency_order(0) == (3, 0, 1, 2)
+        assert policy.victim_way(0) == 2
+
+    def test_sets_independent(self):
+        policy = LruReplacement(2, n_sets=2)
+        policy.touch(0, 1)
+        assert policy.victim_way(0) == 0
+        assert policy.victim_way(1) == 1
+
+    def test_lru_sequence(self):
+        policy = LruReplacement(3, n_sets=1)
+        for way in (0, 1, 2, 0):
+            policy.touch(0, way)
+        # access order 0,1,2,0 -> LRU is 1
+        assert policy.victim_way(0) == 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            LruReplacement(0, 1)
+        with pytest.raises(ValueError):
+            LruReplacement(2, 0)

@@ -1,0 +1,37 @@
+"""Text table rendering."""
+
+from repro.study.report import format_value, render_table
+
+
+class TestFormatValue:
+    def test_floats_by_magnitude(self):
+        assert format_value(123456.0) == "123,456"
+        assert format_value(123.456) == "123.5"
+        assert format_value(1.23456) == "1.235"
+        assert format_value(0.00123) == "0.00123"
+        assert format_value(0.0) == "0"
+
+    def test_ints_grouped(self):
+        assert format_value(1234567) == "1,234,567"
+
+    def test_bool_before_int(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_strings_pass_through(self):
+        assert format_value("32:256") == "32:256"
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(("name", "value"), [("a", 1), ("long", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("value")
+        assert set(lines[1]) <= {"-", " "}
+        # all rows same width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_empty_rows(self):
+        text = render_table(("a",), [])
+        assert "a" in text

@@ -1,0 +1,105 @@
+"""Result persistence: JSON round-trip and report generation."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.study import run_experiment
+from repro.study.registry import ExperimentResult, Series
+from repro.study.resultstore import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    write_report,
+)
+
+
+def sample_result():
+    return ExperimentResult(
+        experiment_id="figX",
+        title="demo",
+        series=(
+            Series(
+                name="s",
+                columns=("config", "area_rbe", "tpi_ns"),
+                rows=(("1:0", 1000.0, 5.5), ("2:0", 2000.0, 4.5)),
+            ),
+        ),
+        notes="hello",
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        original = sample_result()
+        rebuilt = result_from_dict(result_to_dict(original))
+        assert rebuilt == original
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_result(sample_result(), path)
+        loaded = load_result(path)
+        assert loaded.get_series("s").column("tpi_ns") == [5.5, 4.5]
+        assert loaded.notes == "hello"
+
+    def test_real_experiment_round_trip(self, tmp_path):
+        result = run_experiment("fig21")
+        path = tmp_path / "fig21.json"
+        save_result(result, path)
+        assert load_result(path) == result
+
+    def test_schema_version_checked(self):
+        payload = result_to_dict(sample_result())
+        payload["schema"] = 999
+        with pytest.raises(ExperimentError, match="schema"):
+            result_from_dict(payload)
+
+    def test_malformed_document(self):
+        with pytest.raises(ExperimentError, match="missing"):
+            result_from_dict({"schema": 1})
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ExperimentError, match="not valid JSON"):
+            load_result(path)
+
+    def test_json_is_plain_data(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_result(sample_result(), path)
+        payload = json.loads(path.read_text())
+        assert payload["experiment_id"] == "figX"
+        assert payload["series"][0]["rows"][0] == ["1:0", 1000.0, 5.5]
+
+
+class TestWriteReport:
+    def test_writes_selected_ids(self, tmp_path):
+        written = write_report(tmp_path / "out", ids=["fig21"], scale=0.02)
+        assert written == ["fig21"]
+        out = tmp_path / "out"
+        assert (out / "fig21.json").exists()
+        assert (out / "fig21.txt").exists()
+        index = (out / "INDEX.tsv").read_text()
+        assert "fig21" in index
+
+    def test_report_artifacts_reload(self, tmp_path):
+        write_report(tmp_path, ids=["fig21"], scale=0.02)
+        loaded = load_result(tmp_path / "fig21.json")
+        assert loaded.experiment_id == "fig21"
+
+    def test_unknown_id_raises(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            write_report(tmp_path, ids=["fig999"])
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "cli"
+        code = main(
+            ["report", "--out", str(out), "--ids", "fig21", "--scale", "0.02"]
+        )
+        assert code == 0
+        assert "wrote 1 experiments" in capsys.readouterr().out
+        assert (out / "fig21.txt").exists()

@@ -1,0 +1,86 @@
+"""Sensitivity-analysis helpers."""
+
+import pytest
+
+from conftest import TINY
+from repro.core.config import SystemConfig
+from repro.study.sensitivity import (
+    line_size_sensitivity,
+    off_chip_sensitivity,
+    warmup_sensitivity,
+)
+from repro.units import kb
+
+
+class TestOffChipSensitivity:
+    def test_tpi_monotone_in_off_chip_time(self):
+        series = off_chip_sensitivity(
+            "espresso",
+            area_budgets_rbe=[1e6],
+            off_chip_values_ns=(25.0, 100.0, 400.0),
+            scale=TINY,
+        )
+        tpis = series.column("best_tpi_ns")
+        assert tpis == sorted(tpis)
+
+    def test_two_level_advantage_grows_with_latency(self):
+        series = off_chip_sensitivity(
+            "gcc1",
+            area_budgets_rbe=[2e6],
+            off_chip_values_ns=(50.0, 400.0),
+            scale=TINY,
+        )
+        advantages = series.column("two_level_advantage_%")
+        assert advantages[-1] >= advantages[0] - 1.0
+
+    def test_row_grid_shape(self):
+        series = off_chip_sensitivity(
+            "espresso",
+            area_budgets_rbe=[5e5, 1e6],
+            off_chip_values_ns=(50.0, 200.0),
+            scale=TINY,
+        )
+        assert len(series.rows) == 4
+
+
+class TestLineSizeSensitivity:
+    def test_bigger_lines_cut_sequential_misses(self):
+        series = line_size_sensitivity(
+            "fpppp",  # long sequential fetch runs
+            SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64)),
+            line_sizes=(16, 64),
+            scale=TINY,
+        )
+        rates = series.column("l1_miss_rate")
+        assert rates[-1] < rates[0]
+
+    def test_bigger_lines_cost_more_per_miss(self):
+        series = line_size_sensitivity(
+            "gcc1",
+            SystemConfig(l1_bytes=kb(8), l2_bytes=kb(64)),
+            line_sizes=(16, 32, 64),
+            scale=TINY,
+        )
+        penalties = series.column("l2_hit_penalty_ns")
+        assert penalties == sorted(penalties)
+        assert penalties[-1] > penalties[0]
+
+    def test_all_tpis_positive(self):
+        series = line_size_sensitivity(
+            "li", SystemConfig(l1_bytes=kb(4)), line_sizes=(16, 32), scale=TINY
+        )
+        assert all(t > 0 for t in series.column("tpi_ns"))
+
+
+class TestWarmupSensitivity:
+    def test_miss_rate_falls_then_flattens(self, gcc1_tiny):
+        series = warmup_sensitivity(gcc1_tiny, kb(16))
+        rates = series.column("l1_miss_rate")
+        # Removing cold misses can only lower the measured rate...
+        assert rates[0] >= rates[1] >= rates[2]
+        # ...and the marginal change shrinks once warm.
+        assert abs(rates[-1] - rates[-2]) <= abs(rates[1] - rates[0]) + 1e-4
+
+    def test_accepts_workload_names(self):
+        series = warmup_sensitivity("espresso", kb(8), kb(32), scale=TINY)
+        assert len(series.rows) == 5

@@ -1,0 +1,68 @@
+"""Experiment registry: ids, lookup, series plumbing."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.study import experiment_ids, get_experiment, run_experiment
+from repro.study.registry import ExperimentResult, Series
+
+EXPECTED_IDS = (
+    [f"ext{n}" for n in range(1, 11)]
+    + [f"fig{n}" for n in range(1, 27)]
+    + ["table1"]
+)
+
+
+class TestRegistry:
+    def test_every_paper_exhibit_registered(self):
+        assert experiment_ids() == EXPECTED_IDS
+
+    def test_natural_ordering(self):
+        ids = experiment_ids()
+        assert ids.index("fig2") < ids.index("fig10")
+
+    def test_lookup_known(self):
+        experiment = get_experiment("fig5")
+        assert "gcc1" in experiment.title
+        assert experiment.paper_reference.startswith("Figure 5")
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_every_paper_experiment_has_paper_reference(self):
+        for eid in experiment_ids():
+            if eid.startswith("fig") or eid.startswith("table"):
+                ref = get_experiment(eid).paper_reference
+                assert "Figure" in ref or "Table" in ref
+
+
+class TestSeries:
+    def test_row_width_validated(self):
+        with pytest.raises(ExperimentError):
+            Series(name="s", columns=("a", "b"), rows=((1,),))
+
+    def test_column_extraction(self):
+        series = Series(name="s", columns=("a", "b"), rows=((1, 2), (3, 4)))
+        assert series.column("b") == [2, 4]
+
+    def test_unknown_column(self):
+        series = Series(name="s", columns=("a",), rows=())
+        with pytest.raises(ExperimentError):
+            series.column("zz")
+
+
+class TestExperimentResult:
+    def test_get_series_and_render(self):
+        result = run_experiment("fig21")
+        assert isinstance(result, ExperimentResult)
+        series = result.get_series("alternating references, post-warmup counts")
+        assert len(series.rows) == 4
+        text = result.render()
+        assert "fig21" in text
+        assert "exclusive" in text
+
+    def test_get_series_unknown(self):
+        result = run_experiment("fig21")
+        with pytest.raises(ExperimentError, match="no series"):
+            result.get_series("nope")

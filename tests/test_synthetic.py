@@ -1,0 +1,142 @@
+"""Synthetic workload generator: determinism, structure, components."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.synthetic import (
+    InstructionModel,
+    StreamComponent,
+    SyntheticWorkload,
+    ZipfComponent,
+)
+from repro.units import kb
+
+
+def small_workload(name="toy", data_ratio=0.4):
+    return SyntheticWorkload(
+        name=name,
+        instructions=InstructionModel(
+            footprint_bytes=kb(8), n_functions=32, exponent=1.4
+        ),
+        data_components=[
+            ZipfComponent(weight=0.6, footprint_bytes=kb(16), exponent=1.5),
+            StreamComponent(weight=0.4, n_arrays=2, array_bytes=kb(8)),
+        ],
+        data_ratio=data_ratio,
+    )
+
+
+class TestComponentValidation:
+    def test_zipf_rejects_bad_weight(self):
+        with pytest.raises(TraceError):
+            ZipfComponent(weight=0.0, footprint_bytes=kb(1), exponent=1.0)
+
+    def test_zipf_rejects_tiny_footprint(self):
+        with pytest.raises(TraceError):
+            ZipfComponent(weight=1.0, footprint_bytes=8, exponent=1.0)
+
+    def test_zipf_rejects_bad_exponent(self):
+        with pytest.raises(TraceError):
+            ZipfComponent(weight=1.0, footprint_bytes=kb(1), exponent=0.0)
+
+    def test_stream_rejects_zero_arrays(self):
+        with pytest.raises(TraceError):
+            StreamComponent(weight=1.0, n_arrays=0, array_bytes=kb(1))
+
+    def test_stream_rejects_array_smaller_than_stride(self):
+        with pytest.raises(TraceError):
+            StreamComponent(weight=1.0, n_arrays=1, array_bytes=4, stride_bytes=8)
+
+    def test_instruction_model_rejects_tiny_footprint(self):
+        with pytest.raises(TraceError):
+            InstructionModel(footprint_bytes=8, n_functions=4, exponent=1.0)
+
+    def test_workload_rejects_bad_ratio(self):
+        with pytest.raises(TraceError):
+            small_workload(data_ratio=1.5)
+
+    def test_workload_requires_components(self):
+        with pytest.raises(TraceError):
+            SyntheticWorkload(
+                "x",
+                InstructionModel(kb(8), 32, 1.4),
+                data_components=[],
+                data_ratio=0.3,
+            )
+
+
+class TestGeneration:
+    def test_exact_instruction_count(self):
+        trace = small_workload().generate(12345)
+        assert trace.n_instructions == 12345
+
+    def test_deterministic_across_calls(self):
+        a = small_workload().generate(5000)
+        b = small_workload().generate(5000)
+        assert np.array_equal(a.i_addrs, b.i_addrs)
+        assert np.array_equal(a.d_addrs, b.d_addrs)
+        assert np.array_equal(a.d_times, b.d_times)
+
+    def test_different_names_differ(self):
+        a = small_workload("alpha").generate(5000)
+        b = small_workload("beta").generate(5000)
+        assert not np.array_equal(a.i_addrs, b.i_addrs)
+
+    def test_data_ratio_close_to_target(self):
+        trace = small_workload(data_ratio=0.35).generate(50000)
+        assert trace.data_ratio == pytest.approx(0.35, abs=0.02)
+
+    def test_instruction_footprint_bounded(self):
+        workload = small_workload()
+        trace = workload.generate(30000)
+        footprint = workload.instructions.footprint_bytes
+        assert trace.i_addrs.max() < footprint
+        assert trace.i_addrs.min() >= 0
+
+    def test_instruction_stream_is_sequential_runs(self):
+        trace = small_workload().generate(2000)
+        deltas = np.diff(trace.i_addrs)
+        # Most fetches advance by one instruction (4 bytes).
+        assert (deltas == 4).mean() > 0.8
+
+    def test_data_regions_disjoint_from_code(self):
+        trace = small_workload().generate(20000)
+        assert trace.d_addrs.min() >= 1 << 34
+
+    def test_components_live_in_disjoint_regions(self):
+        trace = small_workload().generate(20000)
+        regions = set((trace.d_addrs // (1 << 34)).tolist())
+        assert regions == {1, 2}
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(TraceError):
+            small_workload().generate(0)
+
+
+class TestStreamComponent:
+    def test_stride_walk_wraps(self):
+        workload = SyntheticWorkload(
+            "s",
+            InstructionModel(kb(4), 8, 1.2),
+            [StreamComponent(weight=1.0, n_arrays=1, array_bytes=256, stride_bytes=64)],
+            data_ratio=0.5,
+        )
+        trace = workload.generate(4000)
+        offsets = trace.d_addrs - trace.d_addrs.min()
+        assert set(np.unique(offsets)) <= {0, 64, 128, 192}
+
+    def test_stagger_prevents_power_of_two_alignment(self):
+        component = StreamComponent(weight=1.0, n_arrays=4, array_bytes=kb(64))
+        workload = SyntheticWorkload(
+            "s2",
+            InstructionModel(kb(4), 8, 1.2),
+            [component],
+            data_ratio=0.5,
+        )
+        trace = workload.generate(4000)
+        lines = np.unique(trace.d_addrs // 16)
+        # With stagger, arrays do not collapse onto identical sets of a
+        # 64 KB direct-mapped cache.
+        sets = np.unique(lines % (kb(64) // 16))
+        assert len(sets) > len(lines) / 4

@@ -1,0 +1,63 @@
+"""Calibration anchors: the timing model lands where Figure 1 does."""
+
+import pytest
+
+from repro.timing.optimal import optimal_timing
+from repro.timing.technology import TECH_05UM, TECH_08UM, Technology
+from repro.units import kb
+
+
+class TestFigure1Anchors:
+    """Figure 1 (0.5 µm): ~1.7/2.0 ns at 1 KB, ≈2x spread to 256 KB."""
+
+    def test_1kb_access_near_figure(self):
+        access = optimal_timing(kb(1)).access_ns
+        assert 1.3 <= access <= 2.2
+
+    def test_1kb_cycle_near_figure(self):
+        cycle = optimal_timing(kb(1)).cycle_ns
+        assert 1.5 <= cycle <= 2.5
+
+    def test_256kb_cycle_near_figure(self):
+        cycle = optimal_timing(kb(256)).cycle_ns
+        assert 3.0 <= cycle <= 6.0
+
+    def test_cycle_spread_close_to_paper(self):
+        """§2.1: 'a variation in machine cycle time of about 1.8X'."""
+        ratio = optimal_timing(kb(256)).cycle_ns / optimal_timing(kb(1)).cycle_ns
+        assert 1.6 <= ratio <= 2.6
+
+    def test_set_associative_penalty_modest(self):
+        """§5: the 4-way penalty exists but is small (often hidden by
+        the cycle quantisation)."""
+        for size_kb in (8, 64, 256):
+            dm = optimal_timing(kb(size_kb)).cycle_ns
+            sa = optimal_timing(kb(size_kb), 4).cycle_ns
+            assert 1.0 < sa / dm < 1.35
+
+
+class TestTechnology:
+    def test_05um_is_08um_halved(self):
+        assert TECH_05UM.time_scale == pytest.approx(0.5 * TECH_08UM.time_scale)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            TECH_08UM.scaled(0)
+
+    def test_scaled_composes(self):
+        quarter = TECH_08UM.scaled(0.5).scaled(0.5)
+        assert quarter.time_scale == pytest.approx(0.25)
+
+    def test_scaled_names(self):
+        assert TECH_05UM.name == "0.5um"
+        assert "*0.25" in TECH_08UM.scaled(0.25).name
+
+    def test_resistance_helpers(self):
+        tech = Technology(name="t")
+        assert tech.r_nmos(2.0) == pytest.approx(tech.r_nmos_per_um / 2.0)
+        assert tech.r_pmos(2.0) == pytest.approx(tech.r_nmos(2.0) * tech.pmos_ratio)
+
+    def test_capacitance_helpers(self):
+        tech = Technology(name="t")
+        assert tech.c_gate(3.0) == pytest.approx(3.0 * tech.c_gate_per_um)
+        assert tech.c_diff(3.0) == pytest.approx(3.0 * tech.c_diff_per_um)

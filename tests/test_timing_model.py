@@ -1,0 +1,117 @@
+"""Timing model: stage structure, monotonicity, optimisation."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.timing.model import access_and_cycle_time
+from repro.timing.optimal import optimal_timing
+from repro.timing.organization import ArrayOrganization, enumerate_organizations
+from repro.timing.stages import (
+    StageChain,
+    bitline_rc,
+    chain_delay,
+    decoder_chain,
+    wordline_rc,
+)
+from repro.timing.technology import TECH_05UM, TECH_08UM
+from repro.units import kb
+
+SIZES = [kb(k) for k in (1, 2, 4, 8, 16, 32, 64, 128, 256)]
+
+
+class TestStages:
+    def test_chain_extension(self):
+        chain = StageChain(("a",), (1.0,)).extended("b", 2.0)
+        assert chain.names == ("a", "b")
+        assert chain.rcs == (1.0, 2.0)
+
+    def test_chain_validation(self):
+        with pytest.raises(ValueError):
+            StageChain(("a", "b"), (1.0,))
+
+    def test_chain_delay_includes_slope_coupling(self):
+        single = chain_delay(TECH_08UM, StageChain(("a",), (100.0,)))
+        double = chain_delay(TECH_08UM, StageChain(("a", "b"), (100.0, 100.0)))
+        # second stage adds its own RC plus coupling from the first
+        assert double > 2 * single * 0.99
+
+    def test_wordline_grows_with_columns(self):
+        assert wordline_rc(TECH_08UM, 256) > wordline_rc(TECH_08UM, 64)
+
+    def test_bitline_grows_with_rows(self):
+        assert bitline_rc(TECH_08UM, 256, 1) > bitline_rc(TECH_08UM, 64, 1)
+
+    def test_bitline_mux_adds_load(self):
+        assert bitline_rc(TECH_08UM, 64, 8) > bitline_rc(TECH_08UM, 64, 1)
+
+    def test_decoder_grows_with_rows_and_subarrays(self):
+        few = chain_delay(TECH_08UM, decoder_chain(TECH_08UM, 64, 1))
+        more_rows = chain_delay(TECH_08UM, decoder_chain(TECH_08UM, 512, 1))
+        more_arrays = chain_delay(TECH_08UM, decoder_chain(TECH_08UM, 64, 16))
+        assert more_rows > few
+        assert more_arrays > few
+
+
+class TestModel:
+    def test_breakdown_sums_to_sides(self):
+        g = CacheGeometry(kb(8))
+        org = next(enumerate_organizations(g))
+        result = access_and_cycle_time(g, org, TECH_05UM)
+        assert result.cycle_ns > result.access_ns
+        assert result.access_ns > 0
+        assert set(result.breakdown) >= {
+            "data sense amp",
+            "comparator",
+            "output driver",
+            "precharge",
+        }
+
+    def test_process_scaling_halves_delays(self):
+        g = CacheGeometry(kb(8))
+        org = next(enumerate_organizations(g))
+        slow = access_and_cycle_time(g, org, TECH_08UM)
+        fast = access_and_cycle_time(g, org, TECH_05UM)
+        assert fast.access_ns == pytest.approx(slow.access_ns * 0.5)
+        assert fast.cycle_ns == pytest.approx(slow.cycle_ns * 0.5)
+
+    def test_set_associative_has_way_select_stage(self):
+        g = CacheGeometry(kb(8), associativity=4)
+        org = next(enumerate_organizations(g))
+        result = access_and_cycle_time(g, org, TECH_05UM)
+        assert "way select" in result.breakdown
+        assert "mux driver" in result.breakdown
+
+    def test_direct_mapped_has_no_way_select(self):
+        g = CacheGeometry(kb(8))
+        org = next(enumerate_organizations(g))
+        result = access_and_cycle_time(g, org, TECH_05UM)
+        assert "way select" not in result.breakdown
+
+
+class TestOptimal:
+    def test_memoised(self):
+        a = optimal_timing(kb(8))
+        b = optimal_timing(kb(8))
+        assert a is b
+
+    def test_optimal_beats_or_matches_naive(self):
+        g = CacheGeometry(kb(16))
+        best = optimal_timing(kb(16))
+        for org in enumerate_organizations(g):
+            result = access_and_cycle_time(g, org, TECH_05UM)
+            assert best.cycle_ns <= result.cycle_ns + 1e-12
+
+    def test_cycle_monotonic_in_size(self):
+        cycles = [optimal_timing(size).cycle_ns for size in SIZES]
+        assert all(a <= b + 1e-9 for a, b in zip(cycles, cycles[1:]))
+
+    def test_access_monotonic_in_size(self):
+        accesses = [optimal_timing(size).access_ns for size in SIZES]
+        assert all(a <= b + 1e-9 for a, b in zip(accesses, accesses[1:]))
+
+    def test_set_associative_never_faster(self):
+        for size in (kb(4), kb(32), kb(256)):
+            dm = optimal_timing(size, 1)
+            sa = optimal_timing(size, 4)
+            assert sa.access_ns >= dm.access_ns
+            assert sa.cycle_ns >= dm.cycle_ns

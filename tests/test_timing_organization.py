@@ -1,0 +1,88 @@
+"""Array organisation enumeration and shape arithmetic."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import ModelError
+from repro.timing.organization import (
+    ArrayOrganization,
+    data_array_shape,
+    enumerate_organizations,
+    tag_array_shape,
+    tag_bits_per_entry,
+)
+from repro.units import kb
+
+
+class TestShapes:
+    def test_data_shape_basic(self):
+        g = CacheGeometry(kb(4))
+        rows, cols = data_array_shape(g, 1, 1, 1)
+        # 4KB / 16B lines = 256 rows; 16B * 8 = 128 columns
+        assert rows == 256
+        assert cols == 128
+
+    def test_data_shape_splits(self):
+        g = CacheGeometry(kb(4))
+        rows, cols = data_array_shape(g, 2, 4, 1)
+        assert rows == 64
+        assert cols == 64
+
+    def test_nspd_trades_rows_for_columns(self):
+        g = CacheGeometry(kb(4))
+        r1, c1 = data_array_shape(g, 1, 1, 1)
+        r2, c2 = data_array_shape(g, 1, 1, 2)
+        assert r2 == r1 // 2
+        assert c2 == c1 * 2
+
+    def test_infeasible_shape_raises(self):
+        g = CacheGeometry(kb(1))  # 64 rows total
+        with pytest.raises(ModelError):
+            data_array_shape(g, 1, 128, 1)
+
+    def test_tag_bits(self):
+        g = CacheGeometry(kb(4))  # 256 sets, 16B lines -> 8 index, 4 offset
+        # 32 - 8 - 4 = 20 tag bits + 2 status
+        assert tag_bits_per_entry(g) == 22
+
+    def test_tag_bits_shrink_with_size(self):
+        small = tag_bits_per_entry(CacheGeometry(kb(1)))
+        large = tag_bits_per_entry(CacheGeometry(kb(256)))
+        assert small > large
+
+    def test_tag_bits_grow_with_associativity(self):
+        dm = tag_bits_per_entry(CacheGeometry(kb(64), associativity=1))
+        sa = tag_bits_per_entry(CacheGeometry(kb(64), associativity=4))
+        assert sa == dm + 2  # 4x fewer sets -> 2 more tag bits
+
+    def test_tag_shape(self):
+        g = CacheGeometry(kb(4), associativity=4)  # 64 sets
+        rows, cols = tag_array_shape(g, 1, 1, 1)
+        assert rows == 64
+        assert cols == tag_bits_per_entry(g) * 4
+
+
+class TestEnumeration:
+    def test_every_candidate_is_feasible(self):
+        g = CacheGeometry(kb(8))
+        count = 0
+        for org in enumerate_organizations(g):
+            rows, cols = data_array_shape(g, org.ndwl, org.ndbl, org.nspd)
+            trows, tcols = tag_array_shape(g, org.ntwl, org.ntbl, org.ntspd)
+            assert rows >= 2 and cols >= 8
+            assert trows >= 2 and tcols >= 8
+            count += 1
+        assert count > 10
+
+    def test_small_cache_still_has_organizations(self):
+        g = CacheGeometry(kb(1))
+        assert sum(1 for _ in enumerate_organizations(g)) >= 1
+
+    def test_non_pow2_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            ArrayOrganization(3, 1, 1, 1, 1, 1)
+
+    def test_subarray_counts(self):
+        org = ArrayOrganization(2, 4, 1, 1, 2, 1)
+        assert org.data_subarrays == 8
+        assert org.tag_subarrays == 2

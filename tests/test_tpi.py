@@ -1,0 +1,121 @@
+"""The §2.5 TPI equations, checked by hand against the paper's example."""
+
+import pytest
+
+from repro.cache.results import HierarchyStats
+from repro.core.config import SystemConfig
+from repro.core.tpi import compute_tpi, system_timings
+from repro.errors import ConfigurationError
+from repro.timing.optimal import optimal_timing
+from repro.units import kb
+
+
+def stats(n_instr=1000, n_data=400, l1i=50, l1d=30, l2_hits=60, l2_misses=20, has_l2=True):
+    return HierarchyStats(
+        n_instructions=n_instr,
+        n_data_refs=n_data,
+        l1i_misses=l1i,
+        l1d_misses=l1d,
+        l2_hits=l2_hits if has_l2 else 0,
+        l2_misses=l2_misses if has_l2 else 0,
+        has_l2=has_l2,
+    )
+
+
+class TestSystemTimings:
+    def test_l2_cycle_rounded_up_to_l1_multiple(self):
+        config = SystemConfig(l1_bytes=kb(4), l2_bytes=kb(64))
+        timings = system_timings(config)
+        ratio = timings.l2_cycle_ns / timings.l1_cycle_ns
+        assert abs(ratio - round(ratio)) < 1e-9
+        assert timings.l2_cycle_ns >= timings.l2_raw_cycle_ns - 1e-12
+
+    def test_off_chip_rounded_up(self):
+        config = SystemConfig(l1_bytes=kb(4), l2_bytes=kb(64), off_chip_ns=50.0)
+        timings = system_timings(config)
+        ratio = timings.off_chip_ns / timings.l1_cycle_ns
+        assert abs(ratio - round(ratio)) < 1e-9
+        assert timings.off_chip_ns >= 50.0 - 1e-12
+
+    def test_paper_figure2_example_penalty(self):
+        """§2.5: with 4KB L1s, an L2 at 2 cycles gives a miss penalty of
+        (2x2)+1 = 5 CPU cycles."""
+        config = SystemConfig(l1_bytes=kb(4), l2_bytes=kb(64), l2_associativity=4)
+        timings = system_timings(config)
+        assert timings.l2_cycles == 2
+        penalty_cycles = timings.l2_hit_penalty_ns / timings.l1_cycle_ns
+        assert penalty_cycles == pytest.approx(5.0)
+
+    def test_single_level_timings(self):
+        config = SystemConfig(l1_bytes=kb(4))
+        timings = system_timings(config)
+        assert timings.l2_cycle_ns == 0.0
+        assert timings.l2_cycles == 0
+        assert timings.single_level_miss_penalty_ns == pytest.approx(
+            timings.off_chip_ns + timings.l1_cycle_ns
+        )
+
+    def test_l1_cycle_comes_from_timing_model(self):
+        config = SystemConfig(l1_bytes=kb(16))
+        timings = system_timings(config)
+        assert timings.l1_cycle_ns == pytest.approx(
+            optimal_timing(kb(16)).cycle_ns
+        )
+
+
+class TestComputeTpi:
+    def test_two_level_formula_by_hand(self):
+        config = SystemConfig(l1_bytes=kb(4), l2_bytes=kb(64))
+        timings = system_timings(config)
+        s = stats()
+        result = compute_tpi(config, s)
+        expected = (
+            s.n_instructions * timings.l1_cycle_ns
+            + s.l2_hits * (2 * timings.l2_cycle_ns + timings.l1_cycle_ns)
+            + s.l2_misses
+            * (timings.off_chip_ns + 3 * timings.l2_cycle_ns + timings.l1_cycle_ns)
+        )
+        assert result.total_ns == pytest.approx(expected)
+        assert result.tpi_ns == pytest.approx(expected / s.n_instructions)
+
+    def test_single_level_formula_by_hand(self):
+        config = SystemConfig(l1_bytes=kb(4))
+        timings = system_timings(config)
+        s = stats(has_l2=False)
+        result = compute_tpi(config, s)
+        expected = s.n_instructions * timings.l1_cycle_ns + s.l1_misses * (
+            timings.off_chip_ns + timings.l1_cycle_ns
+        )
+        assert result.total_ns == pytest.approx(expected)
+
+    def test_issue_width_halves_base_time(self):
+        single = SystemConfig(l1_bytes=kb(4))
+        dual = single.dual_ported()
+        s = stats(has_l2=False)
+        t1 = compute_tpi(single, s)
+        t2 = compute_tpi(dual, s)
+        assert t2.base_ns == pytest.approx(t1.base_ns / 2)
+        assert t2.off_chip_ns == pytest.approx(t1.off_chip_ns)
+
+    def test_mismatched_shape_rejected(self):
+        config = SystemConfig(l1_bytes=kb(4))  # single level
+        with pytest.raises(ConfigurationError):
+            compute_tpi(config, stats(has_l2=True))
+
+    def test_cpi_at_l1_clock(self):
+        config = SystemConfig(l1_bytes=kb(4))
+        s = stats(has_l2=False, l1i=0, l1d=0)
+        result = compute_tpi(config, s)
+        assert result.cpi == pytest.approx(1.0)
+        assert result.memory_fraction == pytest.approx(0.0)
+
+    def test_memory_fraction_between_0_and_1(self):
+        config = SystemConfig(l1_bytes=kb(4), l2_bytes=kb(64))
+        result = compute_tpi(config, stats())
+        assert 0.0 < result.memory_fraction < 1.0
+
+    def test_zero_miss_tpi_is_cycle_time(self):
+        config = SystemConfig(l1_bytes=kb(4))
+        s = stats(has_l2=False, l1i=0, l1d=0)
+        result = compute_tpi(config, s)
+        assert result.tpi_ns == pytest.approx(system_timings(config).l1_cycle_ns)

@@ -1,0 +1,74 @@
+"""Trace container validation and derived properties."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.address import Trace
+
+
+def make(i=(0, 4, 8), d=(100,), t=(1,)):
+    return Trace("t", np.array(i), np.array(d), np.array(t))
+
+
+class TestValidation:
+    def test_valid_trace(self):
+        trace = make()
+        assert trace.n_instructions == 3
+        assert trace.n_data_refs == 1
+        assert trace.n_refs == 4
+
+    def test_empty_instruction_stream_rejected(self):
+        with pytest.raises(TraceError):
+            Trace("t", np.array([]), np.array([]), np.array([]))
+
+    def test_mismatched_data_arrays_rejected(self):
+        with pytest.raises(TraceError):
+            make(d=(1, 2), t=(0,))
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(TraceError):
+            make(d=(1, 2), t=(2, 1))
+
+    def test_time_out_of_range_rejected(self):
+        with pytest.raises(TraceError):
+            make(t=(3,))
+        with pytest.raises(TraceError):
+            make(t=(-1,))
+
+    def test_negative_addresses_rejected(self):
+        with pytest.raises(TraceError):
+            make(i=(-4, 0, 4))
+
+    def test_trace_with_no_data_refs_is_valid(self):
+        trace = make(d=(), t=())
+        assert trace.n_data_refs == 0
+        assert trace.data_ratio == 0.0
+
+    def test_arrays_are_read_only(self):
+        trace = make()
+        with pytest.raises(ValueError):
+            trace.i_addrs[0] = 99
+
+
+class TestDerived:
+    def test_line_extraction(self):
+        trace = make(i=(0, 15, 16, 47))
+        assert list(trace.i_lines(16)) == [0, 0, 1, 2]
+
+    def test_data_ratio(self):
+        trace = make(i=(0, 4, 8, 12), d=(1, 2), t=(0, 3))
+        assert trace.data_ratio == pytest.approx(0.5)
+
+    def test_len_counts_all_refs(self):
+        assert len(make()) == 4
+
+    def test_identity_hash(self):
+        a, b = make(), make()
+        assert a != b  # identity semantics: distinct objects differ
+        assert hash(a) != hash(b) or a is not b
+
+    def test_repr_is_compact(self):
+        text = repr(make())
+        assert "instructions=3" in text
+        assert "array" not in text

@@ -1,0 +1,122 @@
+"""Trace file I/O: npz round-trip and din import/export."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.address import Trace
+from repro.traces.io import load_trace, read_din, save_trace, write_din
+
+
+def small_trace():
+    return Trace(
+        "toy",
+        np.array([0, 4, 8, 12]),
+        np.array([100, 200]),
+        np.array([1, 3]),
+    )
+
+
+class TestNpzRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "toy.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == "toy"
+        assert np.array_equal(loaded.i_addrs, trace.i_addrs)
+        assert np.array_equal(loaded.d_addrs, trace.d_addrs)
+        assert np.array_equal(loaded.d_times, trace.d_times)
+
+    def test_round_trip_of_generated_workload(self, tmp_path, gcc1_tiny):
+        path = tmp_path / "gcc1.npz"
+        save_trace(gcc1_tiny, path)
+        loaded = load_trace(path)
+        assert loaded.n_refs == gcc1_tiny.n_refs
+        assert np.array_equal(loaded.i_addrs, gcc1_tiny.i_addrs)
+
+    def test_bad_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.arange(4))
+        with pytest.raises(TraceError, match="missing"):
+            load_trace(path)
+
+
+class TestDin:
+    def test_read_din_basic(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text(
+            "# comment\n"
+            "2 0\n"
+            "0 64\n"      # read at addr 0x64 issued by instr 0
+            "2 4\n"
+            "1 c8\n"      # write -> modelled as data ref at instr 1
+            "2 8\n"
+        )
+        trace = read_din(path)
+        assert trace.n_instructions == 3
+        assert trace.n_data_refs == 2
+        assert trace.i_addrs.tolist() == [0x0, 0x4, 0x8]
+        assert trace.d_addrs.tolist() == [0x64, 0xC8]
+        assert trace.d_times.tolist() == [0, 1]
+        assert trace.name == "t"
+
+    def test_read_din_gzip(self, tmp_path):
+        path = tmp_path / "t.din.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("2 10\n0 20\n")
+        trace = read_din(path, name="zipped")
+        assert trace.name == "zipped"
+        assert trace.n_instructions == 1
+
+    def test_data_before_first_fetch_attributed_to_instr_zero(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("0 40\n2 0\n")
+        trace = read_din(path)
+        assert trace.d_times.tolist() == [0]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("2\n")
+        with pytest.raises(TraceError, match="expected"):
+            read_din(path)
+
+    def test_unparsable_address_rejected(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("2 zz zz\n")
+        with pytest.raises(TraceError, match="unparsable"):
+            read_din(path)
+
+    def test_unknown_label_rejected(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("7 10\n")
+        with pytest.raises(TraceError, match="unknown din label"):
+            read_din(path)
+
+    def test_no_fetches_rejected(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("0 10\n")
+        with pytest.raises(TraceError, match="no instruction fetches"):
+            read_din(path)
+
+    def test_write_read_round_trip(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "toy.din"
+        write_din(trace, path)
+        loaded = read_din(path, name="toy")
+        assert loaded.i_addrs.tolist() == trace.i_addrs.tolist()
+        assert loaded.d_addrs.tolist() == trace.d_addrs.tolist()
+        assert loaded.d_times.tolist() == trace.d_times.tolist()
+
+    def test_din_trace_feeds_simulator(self, tmp_path):
+        from repro.cache.hierarchy import simulate_hierarchy
+
+        trace = small_trace()
+        path = tmp_path / "toy.din"
+        write_din(trace, path)
+        loaded = read_din(path)
+        stats = simulate_hierarchy(loaded, 64, warmup_fraction=0.0)
+        reference = simulate_hierarchy(trace, 64, warmup_fraction=0.0)
+        assert stats.l1_misses == reference.l1_misses

@@ -1,0 +1,56 @@
+"""Trace store: memoisation, scaling, environment handling."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.store import clear_trace_cache, default_scale, get_trace
+from repro.traces.workloads import BASE_INSTRUCTIONS
+
+
+class TestGetTrace:
+    def test_memoised_identity(self):
+        a = get_trace("espresso", 0.01)
+        b = get_trace("espresso", 0.01)
+        assert a is b
+
+    def test_distinct_scales_distinct_traces(self):
+        a = get_trace("espresso", 0.01)
+        b = get_trace("espresso", 0.02)
+        assert a is not b
+        assert b.n_instructions == 2 * a.n_instructions
+
+    def test_scale_sets_instruction_count(self):
+        trace = get_trace("espresso", 0.05)
+        assert trace.n_instructions == int(round(BASE_INSTRUCTIONS * 0.05))
+
+    def test_unknown_workload(self):
+        with pytest.raises(TraceError):
+            get_trace("nosuch", 0.01)
+
+    def test_clear_cache_forces_regeneration(self):
+        a = get_trace("espresso", 0.01)
+        clear_trace_cache()
+        b = get_trace("espresso", 0.01)
+        assert a is not b
+        # content identical despite new object (determinism)
+        assert a.n_refs == b.n_refs
+
+
+class TestDefaultScale:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_SCALE", raising=False)
+        assert default_scale() == 1.0
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.25")
+        assert default_scale() == 0.25
+
+    def test_env_not_a_number(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "lots")
+        with pytest.raises(TraceError):
+            default_scale()
+
+    def test_env_nonpositive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "-1")
+        with pytest.raises(TraceError):
+            default_scale()

@@ -1,0 +1,112 @@
+"""Unit helpers: conversions, power-of-two arithmetic, quantisation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.units import (
+    KB,
+    ceil_div,
+    fmt_size,
+    is_pow2,
+    kb,
+    log2_int,
+    round_up_to_multiple,
+    to_kb,
+)
+
+
+class TestKb:
+    def test_kb_is_1024_bytes(self):
+        assert KB == 1024
+        assert kb(1) == 1024
+        assert kb(256) == 256 * 1024
+
+    def test_fractional_kb_allowed_when_whole_bytes(self):
+        assert kb(0.5) == 512
+
+    def test_fractional_kb_rejected_when_not_whole(self):
+        with pytest.raises(GeometryError):
+            kb(0.0001)
+
+    def test_roundtrip(self):
+        assert to_kb(kb(32)) == 32.0
+
+
+class TestPow2:
+    def test_is_pow2_basics(self):
+        assert is_pow2(1)
+        assert is_pow2(4096)
+        assert not is_pow2(0)
+        assert not is_pow2(-4)
+        assert not is_pow2(3)
+
+    def test_log2_int(self):
+        assert log2_int(1) == 0
+        assert log2_int(65536) == 16
+
+    def test_log2_int_rejects_non_pow2(self):
+        with pytest.raises(GeometryError):
+            log2_int(12)
+
+    @given(st.integers(min_value=0, max_value=60))
+    def test_log2_roundtrip(self, exponent):
+        assert log2_int(1 << exponent) == exponent
+
+
+class TestCeilDiv:
+    def test_exact_and_inexact(self):
+        assert ceil_div(8, 4) == 2
+        assert ceil_div(9, 4) == 3
+        assert ceil_div(0, 4) == 0
+
+    def test_rejects_bad_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+    def test_matches_math_ceil(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+
+class TestRoundUpToMultiple:
+    def test_rounds_up(self):
+        assert round_up_to_multiple(4.1, 2.0) == pytest.approx(6.0)
+
+    def test_exact_multiple_unchanged(self):
+        assert round_up_to_multiple(4.0, 2.0) == pytest.approx(4.0)
+
+    def test_float_noise_does_not_add_a_cycle(self):
+        # 3 * 0.7 is not representable exactly; quantisation must not
+        # bump an "exact" multiple up a whole quantum.
+        assert round_up_to_multiple(0.7 * 3, 0.7) == pytest.approx(2.1)
+
+    def test_zero_value(self):
+        assert round_up_to_multiple(0.0, 2.5) == 0.0
+
+    def test_rejects_nonpositive_quantum(self):
+        with pytest.raises(ValueError):
+            round_up_to_multiple(1.0, 0.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=1e6),
+        st.floats(min_value=0.01, max_value=1e3),
+    )
+    def test_result_is_multiple_and_not_less(self, value, quantum):
+        result = round_up_to_multiple(value, quantum)
+        assert result >= value - 1e-9 * max(1.0, value)
+        ratio = result / quantum
+        assert abs(ratio - round(ratio)) < 1e-6
+
+
+class TestFmtSize:
+    def test_kilobyte_labels(self):
+        assert fmt_size(32768) == "32K"
+        assert fmt_size(1024) == "1K"
+
+    def test_sub_kb_labels(self):
+        assert fmt_size(512) == "512B"
+        assert fmt_size(1536) == "1536B"

@@ -1,0 +1,79 @@
+"""The seven workload models: catalogue integrity and Table 1 ratios."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.workloads import WORKLOADS, get_workload, workload_names
+
+#: Table 1 of the paper: (instruction refs M, data refs M).
+PAPER_TABLE1 = {
+    "gcc1": (22.7, 7.2),
+    "espresso": (135.3, 31.8),
+    "fpppp": (244.1, 136.2),
+    "doduc": (283.6, 108.2),
+    "li": (1247.1, 452.8),
+    "eqntott": (1484.7, 293.6),
+    "tomcatv": (1986.3, 963.6),
+}
+
+
+class TestCatalog:
+    def test_exactly_the_seven_benchmarks(self):
+        assert set(workload_names()) == set(PAPER_TABLE1)
+
+    def test_order_matches_table1(self):
+        assert workload_names() == list(PAPER_TABLE1)
+
+    def test_paper_reference_counts(self):
+        for name, (instr, data) in PAPER_TABLE1.items():
+            spec = WORKLOADS[name]
+            assert spec.paper_instruction_refs == instr
+            assert spec.paper_data_refs == data
+            assert spec.paper_total_refs == pytest.approx(instr + data)
+
+    def test_data_ratio_taken_from_table1(self):
+        for name, (instr, data) in PAPER_TABLE1.items():
+            assert WORKLOADS[name].data_ratio == pytest.approx(data / instr)
+
+    def test_get_workload_unknown_name(self):
+        with pytest.raises(TraceError, match="unknown workload"):
+            get_workload("dhrystone")
+
+    def test_every_spec_builds(self):
+        for name in workload_names():
+            generator = get_workload(name).build()
+            assert generator.name == name
+
+    def test_descriptions_present(self):
+        for spec in WORKLOADS.values():
+            assert len(spec.description) > 10
+
+
+class TestGeneratedCharacter:
+    def test_generated_ratio_matches_spec(self):
+        for name in ("gcc1", "tomcatv"):
+            spec = get_workload(name)
+            trace = spec.build().generate(30000)
+            assert trace.data_ratio == pytest.approx(spec.data_ratio, abs=0.03)
+
+    def test_tomcatv_is_stream_dominated(self):
+        spec = get_workload("tomcatv")
+        stream_weight = sum(
+            c.weight for c in spec.data_components if hasattr(c, "n_arrays")
+        )
+        total = sum(c.weight for c in spec.data_components)
+        assert stream_weight / total > 0.5
+
+    def test_fpppp_has_the_longest_functions(self):
+        lengths = {
+            name: WORKLOADS[name].instructions.function_instructions
+            for name in workload_names()
+        }
+        assert max(lengths, key=lengths.get) == "fpppp"
+
+    def test_code_footprints_span_small_to_large(self):
+        footprints = [
+            spec.instructions.footprint_bytes for spec in WORKLOADS.values()
+        ]
+        assert min(footprints) <= 8 * 1024
+        assert max(footprints) >= 128 * 1024
