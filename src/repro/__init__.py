@@ -33,13 +33,17 @@ from .core import (
     system_timings,
 )
 from .errors import (
+    CheckpointError,
     ConfigurationError,
     ExperimentError,
     GeometryError,
     ModelError,
     ReproError,
+    RunnerError,
     TraceError,
+    UnitTimeoutError,
 )
+from .runner import RetryPolicy, RunJournal, Runner
 from .timing import optimal_timing
 from .area import optimal_cache_area
 from .traces import WORKLOADS, Trace, get_trace, workload_names
@@ -70,6 +74,10 @@ __all__ = [
     "get_trace",
     # helpers
     "kb",
+    # resilient execution
+    "Runner",
+    "RetryPolicy",
+    "RunJournal",
     # errors
     "ReproError",
     "ConfigurationError",
@@ -77,4 +85,7 @@ __all__ = [
     "ModelError",
     "TraceError",
     "ExperimentError",
+    "RunnerError",
+    "CheckpointError",
+    "UnitTimeoutError",
 ]

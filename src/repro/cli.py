@@ -15,25 +15,37 @@ Commands
     staircase.
 ``workloads``
     The seven workload models and their footprints.
-``report --out DIR [--ids id1,id2] [--scale S]``
-    Regenerate experiments into a directory of JSON + text artefacts.
+``report --out DIR [--ids id1,id2] [--scale S] [--resume] [--keep-going]``
+    Regenerate experiments into a directory of JSON + text artefacts,
+    checkpointed so interrupted runs resume and failures isolate.
+``sweep --workload W [--out DIR] [...]``
+    Evaluate the full design space point by point through the
+    resilient runner.
+
+Library failures (:class:`~repro.errors.ReproError`) print a one-line
+``error: …`` to stderr and exit with code 2; pass ``--debug`` for the
+full traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .cache.hierarchy import Policy
 from .core.config import SystemConfig
 from .core.envelope import best_envelope
 from .core.evaluate import evaluate
-from .core.explorer import design_space, sweep
+from .core.explorer import as_point, design_space, run_sweep, sweep
+from .errors import ReproError
+from .runner import write_text_atomic
 from .study import experiment_ids, get_experiment
 from .study.plot import plot_experiment
 from .study.report import render_table
-from .study.resultstore import write_report
+from .study.resultstore import FAILURES_NAME, write_report
 from .traces.stats import compute_stats
 from .traces.store import get_trace
 from .traces.workloads import WORKLOADS
@@ -147,8 +159,65 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     ids = args.ids.split(",") if args.ids else None
-    written = write_report(args.out, ids=ids, scale=args.scale)
+    written = write_report(
+        args.out,
+        ids=ids,
+        scale=args.scale,
+        resume=args.resume,
+        keep_going=args.keep_going,
+        timeout_s=args.timeout,
+        retries=args.retries,
+    )
     print(f"wrote {len(written)} experiments to {args.out}")
+    manifest = Path(args.out) / FAILURES_NAME
+    if manifest.exists():
+        failures = json.loads(manifest.read_text())["failures"]
+        print(
+            f"{len(failures)} experiment(s) failed; see {manifest}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    template = _config_from(args)
+    configs = design_space(template)
+    out = Path(args.out) if args.out else None
+    journal_path = out / "sweep.journal.jsonl" if out else None
+    if out:
+        out.mkdir(parents=True, exist_ok=True)
+    run = run_sweep(
+        args.workload,
+        configs,
+        scale=args.scale,
+        keep_going=args.keep_going,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        journal_path=journal_path,
+        resume=args.resume,
+    )
+    points = [as_point(value) for value in run.values()]
+    rows = [(p.label, p.area_rbe, p.tpi_ns, p.levels) for p in points]
+    print(render_table(("config", "area_rbe", "tpi_ns", "levels"), rows))
+    if out:
+        tsv = "\n".join(
+            f"{p.label}\t{p.workload}\t{p.area_rbe:.1f}\t{p.tpi_ns:.4f}\t{p.levels}"
+            for p in points
+        )
+        write_text_atomic(out / "sweep.tsv", tsv + "\n" if tsv else "")
+        manifest = out / FAILURES_NAME
+        if run.failed:
+            write_text_atomic(
+                manifest, json.dumps(run.failures_manifest(), indent=2) + "\n"
+            )
+        else:
+            manifest.unlink(missing_ok=True)
+    if run.failed:
+        if not args.keep_going:
+            run.raise_first_failure()
+        print(f"{len(run.failed)} design point(s) failed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -156,6 +225,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Tradeoffs in Two-Level On-Chip Caching'",
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="raise library errors with full tracebacks instead of 'error: …'",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -195,6 +269,32 @@ def _build_parser() -> argparse.ArgumentParser:
     wl.add_argument("--scale", type=float, default=0.1)
     wl.set_defaults(func=_cmd_workloads)
 
+    def add_runner_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="replay the run journal and skip completed units",
+        )
+        p.add_argument(
+            "--keep-going",
+            action="store_true",
+            help="isolate per-unit failures into FAILURES.json and continue",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="S",
+            help="per-unit wall-clock budget in seconds",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            metavar="N",
+            help="extra attempts per unit for transient failures",
+        )
+
     report = sub.add_parser(
         "report", help="regenerate experiments into a results directory"
     )
@@ -203,7 +303,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--ids", default="", help="comma-separated experiment ids (default: all)"
     )
     report.add_argument("--scale", type=float, default=None)
+    add_runner_args(report)
     report.set_defaults(func=_cmd_report)
+
+    sw = sub.add_parser(
+        "sweep", help="evaluate the design space through the resilient runner"
+    )
+    add_config_args(sw)
+    sw.add_argument("--out", default="", help="directory for journal + sweep.tsv")
+    add_runner_args(sw)
+    sw.set_defaults(func=_cmd_sweep)
 
     return parser
 
@@ -217,6 +326,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # Output piped into e.g. `head`; exiting quietly is correct.
         return 0
+    except ReproError as error:
+        if args.debug:
+            raise
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

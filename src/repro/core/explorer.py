@@ -10,16 +10,26 @@ configuration degenerates toward a victim cache).
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
 from ..cache.hierarchy import Policy
+from ..runner import RetryPolicy, RunJournal, Runner, RunResult, RunUnit
 from ..traces.address import Trace
 from ..units import kb
 from .config import SystemConfig
 from .evaluate import SystemPerformance, evaluate
 
-__all__ = ["standard_l1_sizes", "standard_l2_sizes", "design_space", "sweep"]
+__all__ = [
+    "standard_l1_sizes",
+    "standard_l2_sizes",
+    "design_space",
+    "sweep",
+    "run_sweep",
+    "SweepPoint",
+    "as_point",
+]
 
 _MIN_KB = 1
 _MAX_KB = 256
@@ -85,15 +95,142 @@ def design_space(
     return configs
 
 
+@dataclass(frozen=True)
+class SweepPoint:
+    """Journal-persistable summary of one evaluated design point.
+
+    A full :class:`~repro.core.evaluate.SystemPerformance` carries
+    simulator state that does not round-trip through JSON; this is the
+    slice a resumed sweep can restore without re-simulating.
+    """
+
+    label: str
+    workload: str
+    area_rbe: float
+    tpi_ns: float
+    levels: str
+
+    def to_record(self) -> dict:
+        return {
+            "label": self.label,
+            "workload": self.workload,
+            "area_rbe": self.area_rbe,
+            "tpi_ns": self.tpi_ns,
+            "levels": self.levels,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "SweepPoint":
+        return cls(
+            label=record["label"],
+            workload=record["workload"],
+            area_rbe=float(record["area_rbe"]),
+            tpi_ns=float(record["tpi_ns"]),
+            levels=record["levels"],
+        )
+
+
+def as_point(value: Union[SystemPerformance, SweepPoint]) -> SweepPoint:
+    """Normalise fresh and journal-restored sweep values to one shape."""
+    if isinstance(value, SweepPoint):
+        return value
+    return SweepPoint(
+        label=value.label,
+        workload=value.workload,
+        area_rbe=value.area_rbe,
+        tpi_ns=value.tpi_ns,
+        levels="2-level" if value.config.has_l2 else "1-level",
+    )
+
+
+def _sweep_units(
+    workload: Union[str, Trace],
+    configs: Sequence[SystemConfig],
+    scale: Optional[float],
+) -> List[RunUnit]:
+    workload_name = workload if isinstance(workload, str) else workload.name
+    units = []
+    for index, config in enumerate(configs):
+        def run(config: SystemConfig = config) -> SystemPerformance:
+            return evaluate(config, workload, scale=scale)
+
+        units.append(
+            RunUnit(
+                unit_id=f"{index:04d}:{config.label}",
+                payload={
+                    "index": index,
+                    "workload": workload_name,
+                    "scale": scale,
+                    "config": config.describe(),
+                },
+                run=run,
+                to_record=lambda perf: as_point(perf).to_record(),
+                from_record=SweepPoint.from_record,
+            )
+        )
+    return units
+
+
+def run_sweep(
+    workload: Union[str, Trace],
+    configs: Sequence[SystemConfig],
+    scale: Optional[float] = None,
+    *,
+    keep_going: bool = False,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    journal_path: "Union[str, Path, None]" = None,
+    resume: bool = False,
+) -> RunResult:
+    """Evaluate configurations through the resilient engine.
+
+    Each configuration is one journalled unit: with ``journal_path``
+    set, an interrupted sweep resumed with ``resume=True`` restores
+    finished points (as :class:`SweepPoint`) from the journal instead
+    of re-simulating them.  ``keep_going`` isolates per-point failures;
+    without it the run stops at the first failure (the caller decides
+    whether to re-raise via ``RunResult.raise_first_failure``).
+    """
+    journal = (
+        RunJournal.open(journal_path, resume=resume) if journal_path is not None else None
+    )
+    runner = Runner(
+        journal=journal,
+        retry=RetryPolicy(max_attempts=retries + 1),
+        timeout_s=timeout_s,
+        keep_going=keep_going,
+    )
+    return runner.run(_sweep_units(workload, configs, scale))
+
+
 def sweep(
     workload: Union[str, Trace],
     configs: Sequence[SystemConfig],
     scale: Optional[float] = None,
+    *,
+    keep_going: bool = False,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
 ) -> List[SystemPerformance]:
     """Evaluate every configuration on one workload.
 
     Simulation results and trace generation are memoised, so sweeping
     multiple related spaces (e.g. 50 ns then 200 ns off-chip) only pays
     for the distinct cache shapes once.
+
+    Runs through the resilient engine: by default the first failing
+    configuration raises (as it always did); with ``keep_going=True``
+    failing points are dropped from the returned list and the sweep
+    continues.
     """
-    return [evaluate(config, workload, scale=scale) for config in configs]
+    result = run_sweep(
+        workload,
+        configs,
+        scale=scale,
+        keep_going=keep_going,
+        timeout_s=timeout_s,
+        retries=retries,
+    )
+    if result.failed and not keep_going:
+        result.raise_first_failure()
+    return result.values()

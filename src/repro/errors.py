@@ -14,6 +14,9 @@ __all__ = [
     "ModelError",
     "TraceError",
     "ExperimentError",
+    "RunnerError",
+    "CheckpointError",
+    "UnitTimeoutError",
 ]
 
 
@@ -44,3 +47,23 @@ class TraceError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment id is unknown or an experiment was misconfigured."""
+
+
+class RunnerError(ReproError):
+    """The resilient execution engine was misused or misconfigured.
+
+    Examples: an invalid retry policy, or an unparsable fault-injection
+    specification in ``REPRO_FAULTS``.
+    """
+
+
+class CheckpointError(RunnerError):
+    """A run journal is corrupt or written by an incompatible version."""
+
+
+class UnitTimeoutError(RunnerError):
+    """A single unit of work exceeded its wall-clock budget.
+
+    Timeouts are deliberately not retried: a configuration that blows
+    its budget once is assumed pathological, not transient.
+    """

@@ -1,0 +1,37 @@
+"""Resilient batch execution: checkpoints, isolation, retries, timeouts.
+
+Every sweep and report goes through this subsystem.  See
+:mod:`repro.runner.engine` for the execution model,
+:mod:`repro.runner.journal` for the crash-safe checkpoint format,
+:mod:`repro.runner.atomic` for torn-write-free artefact persistence,
+and :mod:`repro.runner.faults` for the deterministic fault-injection
+hooks that prove the machinery works.
+"""
+
+from .atomic import atomic_open, write_bytes_atomic, write_text_atomic
+from .engine import (
+    RetryPolicy,
+    Runner,
+    RunResult,
+    RunUnit,
+    UnitOutcome,
+    error_record,
+    unit_timeout,
+)
+from .journal import JOURNAL_SCHEMA, RunJournal, unit_key
+
+__all__ = [
+    "atomic_open",
+    "write_text_atomic",
+    "write_bytes_atomic",
+    "RetryPolicy",
+    "Runner",
+    "RunResult",
+    "RunUnit",
+    "UnitOutcome",
+    "error_record",
+    "unit_timeout",
+    "JOURNAL_SCHEMA",
+    "RunJournal",
+    "unit_key",
+]

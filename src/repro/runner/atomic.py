@@ -1,0 +1,57 @@
+"""Atomic artefact writes: tmp-sibling plus ``os.replace``.
+
+Every file the library persists (results, reports, traces, journals)
+goes through these helpers so a crash — even a SIGKILL mid-write —
+leaves either the previous complete file or no file at all, never a
+half-written artefact that a later load would choke on.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Union
+
+__all__ = ["atomic_open", "write_text_atomic", "write_bytes_atomic"]
+
+
+def _tmp_sibling(path: Path) -> Path:
+    return path.with_name(path.name + ".tmp")
+
+
+@contextmanager
+def atomic_open(path: Union[str, Path], mode: str = "w") -> Iterator:
+    """Open a ``.tmp`` sibling of ``path`` for writing.
+
+    On clean exit the data is flushed, fsynced, and renamed into place
+    with :func:`os.replace` (atomic on POSIX and Windows).  On any
+    exception the temporary file is removed and ``path`` is untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _tmp_sibling(path)
+    handle = open(tmp, mode)
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+    except BaseException:
+        handle.close()
+        tmp.unlink(missing_ok=True)
+        raise
+    else:
+        handle.close()
+        os.replace(tmp, path)
+
+
+def write_text_atomic(path: Union[str, Path], text: str) -> None:
+    """Atomically replace ``path`` with ``text``."""
+    with atomic_open(path, "w") as handle:
+        handle.write(text)
+
+
+def write_bytes_atomic(path: Union[str, Path], data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``."""
+    with atomic_open(path, "wb") as handle:
+        handle.write(data)

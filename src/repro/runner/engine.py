@@ -1,0 +1,298 @@
+"""The resilient unit-execution engine.
+
+Batch work (a report over many experiments, a sweep over many
+configurations) is decomposed into :class:`RunUnit` objects and driven
+by a :class:`Runner`, which layers four protections around each unit:
+
+* **checkpointing** — completed units are recorded in a
+  :class:`~repro.runner.journal.RunJournal` keyed by a configuration
+  hash, so an interrupted run resumed against the same journal skips
+  finished work;
+* **isolation** — a unit that raises produces a structured
+  :func:`error_record` instead of killing the run (``keep_going``), or
+  stops the run cleanly with the journal intact;
+* **retries** — transient failures are retried with exponential
+  backoff under a :class:`RetryPolicy`;
+* **timeouts** — a per-unit wall-clock budget enforced with
+  ``SIGALRM`` (main thread on POSIX; a no-op elsewhere) aborts
+  pathological units with :class:`~repro.errors.UnitTimeoutError`.
+
+Deterministic fault injection (:mod:`repro.runner.faults`) hooks into
+the attempt loop so all four behaviours are testable.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import RunnerError, UnitTimeoutError
+from . import faults
+from .journal import RunJournal, unit_key
+
+__all__ = [
+    "RetryPolicy",
+    "RunUnit",
+    "UnitOutcome",
+    "RunResult",
+    "Runner",
+    "error_record",
+    "unit_timeout",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff.
+
+    ``max_attempts`` counts the first try: 1 means no retries.
+    Timeouts (:class:`~repro.errors.UnitTimeoutError`) are never
+    retried — a unit that blows its wall-clock budget is pathological,
+    not transient.
+    """
+
+    max_attempts: int = 1
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise RunnerError("retry policy needs max_attempts >= 1")
+        if self.backoff_s < 0 or self.backoff_factor < 1 or self.max_backoff_s < 0:
+            raise RunnerError("retry backoff parameters must be non-negative")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the retry following failed attempt ``attempt``."""
+        return min(
+            self.backoff_s * self.backoff_factor ** (attempt - 1),
+            self.max_backoff_s,
+        )
+
+
+@dataclass(frozen=True)
+class RunUnit:
+    """One isolatable piece of a batch run.
+
+    Attributes
+    ----------
+    unit_id:
+        Stable identifier; also the handle fault plans match on.
+    payload:
+        JSON-safe description of the unit's full configuration; its
+        hash (:func:`~repro.runner.journal.unit_key`) keys the journal,
+        so a unit re-runs if its configuration changed since the
+        journalled run.
+    run:
+        The work; its return value becomes the outcome's ``value``.
+    to_record / from_record:
+        Optional value serialisers.  When given, the journal stores
+        ``to_record(value)`` with the OK entry and resume rebuilds the
+        value via ``from_record`` without re-executing the unit.
+    check_skip:
+        Optional resume-time validation: return False to force a
+        journalled-OK unit to re-run (e.g. its artefact went missing
+        or is corrupt on disk).
+    """
+
+    unit_id: str
+    payload: dict
+    run: Callable[[], Any] = field(repr=False)
+    to_record: Optional[Callable[[Any], dict]] = field(default=None, repr=False)
+    from_record: Optional[Callable[[dict], Any]] = field(default=None, repr=False)
+    check_skip: Optional[Callable[[], bool]] = field(default=None, repr=False)
+
+    @property
+    def key(self) -> str:
+        return unit_key(self.payload)
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """What happened to one unit: ok, skipped (journal hit), or failed."""
+
+    unit_id: str
+    status: str
+    value: Any = None
+    attempts: int = 0
+    elapsed_s: float = 0.0
+    error: Optional[dict] = None
+    exception: Optional[BaseException] = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "skipped")
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """All outcomes of one :meth:`Runner.run` call, in unit order."""
+
+    outcomes: Tuple[UnitOutcome, ...]
+
+    @property
+    def completed(self) -> List[UnitOutcome]:
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failed(self) -> List[UnitOutcome]:
+        return [o for o in self.outcomes if o.status == "failed"]
+
+    def values(self) -> List[Any]:
+        return [o.value for o in self.completed]
+
+    def raise_first_failure(self) -> None:
+        """Re-raise the first failed unit's original exception."""
+        for outcome in self.failed:
+            if outcome.exception is not None:
+                raise outcome.exception
+            raise RunnerError(f"unit {outcome.unit_id} failed: {outcome.error}")
+
+    def failures_manifest(self) -> dict:
+        """JSON-safe manifest of every failure (``FAILURES.json`` body)."""
+        return {"schema": 1, "failures": [o.error for o in self.failed]}
+
+
+def error_record(unit: RunUnit, error: BaseException, attempts: int, elapsed_s: float) -> dict:
+    """Structured, JSON-safe record of one unit failure."""
+    return {
+        "unit": unit.unit_id,
+        "type": type(error).__name__,
+        "message": str(error),
+        "config": unit.payload,
+        "attempts": attempts,
+        "elapsed_s": round(elapsed_s, 6),
+    }
+
+
+@contextmanager
+def unit_timeout(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`UnitTimeoutError` after ``seconds`` of wall clock.
+
+    Uses ``SIGALRM``/``setitimer``, so it only arms on the main thread
+    of a POSIX process; elsewhere (or with ``seconds`` None/0) it is a
+    no-op rather than an error, keeping the engine usable in worker
+    threads at the cost of timeout enforcement there.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise UnitTimeoutError(f"unit exceeded its {seconds:g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+class Runner:
+    """Drives a sequence of :class:`RunUnit` with the four protections.
+
+    ``run`` never raises for unit failures — it returns a
+    :class:`RunResult` and leaves the raise-or-continue decision to the
+    caller (``RunResult.raise_first_failure``).  ``BaseException``
+    (KeyboardInterrupt, injected crashes) always propagates: by then
+    every finished unit is journalled, which is what makes resume work.
+    """
+
+    def __init__(
+        self,
+        journal: Optional[RunJournal] = None,
+        retry: Optional[RetryPolicy] = None,
+        timeout_s: Optional[float] = None,
+        keep_going: bool = False,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.journal = journal
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.timeout_s = timeout_s
+        self.keep_going = keep_going
+        self._sleep = sleep
+
+    def run(self, units: Sequence[RunUnit]) -> RunResult:
+        outcomes: List[UnitOutcome] = []
+        for unit in units:
+            outcome = self._run_unit(unit)
+            outcomes.append(outcome)
+            if outcome.status == "failed" and not self.keep_going:
+                break
+        return RunResult(tuple(outcomes))
+
+    def _resume_outcome(self, unit: RunUnit) -> Optional[UnitOutcome]:
+        if self.journal is None or not self.journal.completed(unit.unit_id, unit.key):
+            return None
+        if unit.check_skip is not None and not unit.check_skip():
+            return None
+        value = None
+        entry = self.journal.entry(unit.unit_id)
+        stored = entry.get("result") if entry else None
+        if unit.from_record is not None and stored is not None:
+            value = unit.from_record(stored)
+        return UnitOutcome(unit.unit_id, "skipped", value=value)
+
+    def _run_unit(self, unit: RunUnit) -> UnitOutcome:
+        skipped = self._resume_outcome(unit)
+        if skipped is not None:
+            return skipped
+        key = unit.key
+        started = time.monotonic()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                with unit_timeout(self.timeout_s):
+                    faults.before_unit(unit.unit_id)
+                    value = unit.run()
+            except Exception as error:
+                elapsed = time.monotonic() - started
+                transient = not isinstance(error, UnitTimeoutError)
+                if transient and attempts < self.retry.max_attempts:
+                    self._sleep(self.retry.delay(attempts))
+                    continue
+                record = error_record(unit, error, attempts, elapsed)
+                if self.journal is not None:
+                    self.journal.record(
+                        unit.unit_id,
+                        key,
+                        "failed",
+                        attempts=attempts,
+                        elapsed_s=elapsed,
+                        error=record,
+                    )
+                return UnitOutcome(
+                    unit.unit_id,
+                    "failed",
+                    attempts=attempts,
+                    elapsed_s=elapsed,
+                    error=record,
+                    exception=error,
+                )
+            elapsed = time.monotonic() - started
+            if self.journal is not None:
+                stored = unit.to_record(value) if unit.to_record is not None else None
+                self.journal.record(
+                    unit.unit_id,
+                    key,
+                    "ok",
+                    attempts=attempts,
+                    elapsed_s=elapsed,
+                    result=stored,
+                )
+            return UnitOutcome(
+                unit.unit_id, "ok", value=value, attempts=attempts, elapsed_s=elapsed
+            )

@@ -1,0 +1,155 @@
+"""Deterministic fault injection for exercising the execution engine.
+
+The robustness machinery (isolation, retries, timeouts, resume) is only
+trustworthy if it can be *demonstrated*, so the engine consults this
+module before every unit attempt and the report writer after every
+artefact write.  Faults are configured either programmatically
+(:func:`install`) or through the ``REPRO_FAULTS`` environment variable,
+and fire deterministically on named units — no randomness, so tests and
+CI smoke runs reproduce exactly.
+
+Specification grammar (comma-separated, e.g.
+``REPRO_FAULTS="fail=fig5:2,delay=fig7:0.5"``)::
+
+    fail=<unit>[:<times>]    raise InjectedFault on <unit>, <times> attempts
+    crash=<unit>             raise InjectedCrash before <unit> (simulated kill)
+    delay=<unit>[:<seconds>] sleep before running <unit>
+    corrupt=<unit>           truncate <unit>'s written artefact (torn write)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..errors import ReproError, RunnerError
+
+__all__ = [
+    "ENV_VAR",
+    "InjectedFault",
+    "InjectedCrash",
+    "FaultPlan",
+    "parse_plan",
+    "install",
+    "clear",
+    "active_plan",
+    "before_unit",
+    "maybe_corrupt_file",
+]
+
+#: Environment variable holding a fault specification.
+ENV_VAR = "REPRO_FAULTS"
+
+
+class InjectedFault(ReproError):
+    """A transient failure raised by the fault hook (retryable)."""
+
+
+class InjectedCrash(BaseException):
+    """Simulates a hard kill (SIGKILL/OOM) of the whole process.
+
+    Deliberately derives from :class:`BaseException` so the engine's
+    per-unit isolation can never swallow it — exactly like a real kill,
+    it terminates the run and only the journal survives.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which units fail, crash, stall, or corrupt their output."""
+
+    fail_unit: Optional[str] = None
+    fail_times: int = 1
+    crash_unit: Optional[str] = None
+    delay_unit: Optional[str] = None
+    delay_s: float = 1.0
+    corrupt_unit: Optional[str] = None
+
+
+_installed: Optional[FaultPlan] = None
+_fail_counts: Dict[str, int] = {}
+
+
+def parse_plan(spec: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS``-style specification string."""
+    plan = FaultPlan()
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep or not value:
+            raise RunnerError(f"bad fault spec {part!r}: expected kind=unit[:arg]")
+        unit, _, arg = value.partition(":")
+        try:
+            if key == "fail":
+                plan = replace(plan, fail_unit=unit, fail_times=int(arg) if arg else 1)
+            elif key == "crash":
+                plan = replace(plan, crash_unit=unit)
+            elif key == "delay":
+                plan = replace(plan, delay_unit=unit, delay_s=float(arg) if arg else 1.0)
+            elif key == "corrupt":
+                plan = replace(plan, corrupt_unit=unit)
+            else:
+                raise RunnerError(
+                    f"unknown fault kind {key!r}; expected fail/crash/delay/corrupt"
+                )
+        except ValueError:
+            raise RunnerError(f"bad fault argument in {part!r}") from None
+    return plan
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Activate ``plan`` for the current process (None deactivates)."""
+    global _installed
+    _installed = plan
+    _fail_counts.clear()
+
+
+def clear() -> None:
+    """Remove any installed plan and reset fail counters."""
+    install(None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed plan, else one parsed from ``REPRO_FAULTS``."""
+    if _installed is not None:
+        return _installed
+    spec = os.environ.get(ENV_VAR, "")
+    return parse_plan(spec) if spec else None
+
+
+def before_unit(unit_id: str) -> None:
+    """Fault hook called by the engine before each unit attempt."""
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.crash_unit == unit_id:
+        raise InjectedCrash(f"injected crash before unit {unit_id}")
+    if plan.delay_unit == unit_id and plan.delay_s > 0:
+        time.sleep(plan.delay_s)
+    if plan.fail_unit == unit_id:
+        count = _fail_counts.get(unit_id, 0)
+        if count < plan.fail_times:
+            _fail_counts[unit_id] = count + 1
+            raise InjectedFault(
+                f"injected fault on unit {unit_id} "
+                f"(failure {count + 1} of {plan.fail_times})"
+            )
+
+
+def maybe_corrupt_file(unit_id: str, path: Union[str, Path]) -> None:
+    """Truncate ``path`` if the plan corrupts ``unit_id``'s output.
+
+    Emulates a torn write that bypassed the atomic-rename discipline,
+    so resume-time artefact validation can be tested.
+    """
+    plan = active_plan()
+    if plan is None or plan.corrupt_unit != unit_id:
+        return
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])

@@ -1,0 +1,146 @@
+"""Crash-safe run journal: append-only JSONL of per-unit outcomes.
+
+A journal records, for every unit of a batch run (one experiment of a
+report, one configuration of a sweep), whether it completed and under
+which *key* — a hash of the unit's full configuration.  An interrupted
+run reopened with ``resume=True`` replays the journal and skips every
+unit whose recorded key still matches, so only unfinished (or changed)
+work is re-executed.
+
+Layout: the first line is a header ``{"journal": 1}``; each following
+line is one entry.  The file is rewritten through a tmp-sibling +
+``os.replace`` on every append, so readers never observe a torn entry.
+A truncated *final* line (possible if an older writer died mid-append)
+is tolerated on load; corruption anywhere else raises
+:class:`~repro.errors.CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..errors import CheckpointError
+from .atomic import write_text_atomic
+
+__all__ = ["JOURNAL_SCHEMA", "unit_key", "RunJournal"]
+
+#: Format version of the journal file.
+JOURNAL_SCHEMA = 1
+
+
+def unit_key(payload: dict) -> str:
+    """Deterministic hash of a unit's configuration payload.
+
+    The payload must be JSON-serialisable; non-JSON leaves are
+    stringified so e.g. enum values hash stably.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+class RunJournal:
+    """The per-run checkpoint ledger (see module docstring)."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._entries: List[dict] = []
+        self._latest: Dict[str, dict] = {}
+
+    @classmethod
+    def open(cls, path: Union[str, Path], resume: bool = False) -> "RunJournal":
+        """Open the journal at ``path``.
+
+        ``resume=True`` replays an existing journal (missing file =
+        empty journal); ``resume=False`` starts fresh, discarding any
+        prior state on disk.
+        """
+        journal = cls(path)
+        if resume and journal.path.exists():
+            journal._load()
+        else:
+            journal._flush()
+        return journal
+
+    def _load(self) -> None:
+        lines = self.path.read_text().splitlines()
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            raise CheckpointError(f"{self.path}: corrupt journal header") from None
+        if not isinstance(header, dict) or header.get("journal") != JOURNAL_SCHEMA:
+            raise CheckpointError(
+                f"{self.path}: unsupported journal format {header!r}; "
+                f"this repro reads journal schema {JOURNAL_SCHEMA}"
+            )
+        for number, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines):
+                    # Torn final append from a crashed writer; the unit
+                    # it described simply re-runs.
+                    break
+                raise CheckpointError(
+                    f"{self.path}:{number}: corrupt journal entry"
+                ) from None
+            if not isinstance(entry, dict) or "unit" not in entry or "status" not in entry:
+                raise CheckpointError(f"{self.path}:{number}: malformed journal entry")
+            self._entries.append(entry)
+            self._latest[entry["unit"]] = entry
+
+    def _flush(self) -> None:
+        lines = [json.dumps({"journal": JOURNAL_SCHEMA})]
+        lines += [json.dumps(entry, sort_keys=True) for entry in self._entries]
+        write_text_atomic(self.path, "\n".join(lines) + "\n")
+
+    def record(
+        self,
+        unit_id: str,
+        key: str,
+        status: str,
+        *,
+        attempts: int = 1,
+        elapsed_s: float = 0.0,
+        error: Optional[dict] = None,
+        result: Optional[dict] = None,
+    ) -> dict:
+        """Append one outcome entry and persist the journal atomically."""
+        entry = {
+            "unit": unit_id,
+            "key": key,
+            "status": status,
+            "attempts": attempts,
+            "elapsed_s": round(elapsed_s, 6),
+        }
+        if error is not None:
+            entry["error"] = error
+        if result is not None:
+            entry["result"] = result
+        self._entries.append(entry)
+        self._latest[unit_id] = entry
+        self._flush()
+        return entry
+
+    def entry(self, unit_id: str) -> Optional[dict]:
+        """The most recent entry for ``unit_id`` (or ``None``)."""
+        return self._latest.get(unit_id)
+
+    def completed(self, unit_id: str, key: str) -> bool:
+        """True if ``unit_id`` finished OK under the same configuration."""
+        entry = self._latest.get(unit_id)
+        return entry is not None and entry["status"] == "ok" and entry.get("key") == key
+
+    @property
+    def entries(self) -> List[dict]:
+        """All entries in append order (a copy)."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -6,6 +6,13 @@ JSON document (and back), and :func:`write_report` regenerates any set
 of experiments into a directory with one ``.json`` + ``.txt`` pair per
 exhibit plus an index — the bundle a reviewer would want to diff
 between runs.
+
+Reports run through the resilient engine (:mod:`repro.runner`): each
+experiment is one journalled unit, so an interrupted ``write_report``
+re-invoked with ``resume=True`` skips finished exhibits, a failing
+exhibit can be isolated (``keep_going=True``) into a ``FAILURES.json``
+manifest while the rest of the report completes, and every artefact is
+written atomically (no half-written JSON after a crash).
 """
 
 from __future__ import annotations
@@ -14,13 +21,27 @@ import json
 from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
-from ..errors import ExperimentError
-from .registry import ExperimentResult, Series, experiment_ids, get_experiment
+from ..errors import ExperimentError, ReproError
+from ..runner import RetryPolicy, RunJournal, Runner, RunUnit, write_text_atomic
+from ..runner import faults
+from .registry import Experiment, ExperimentResult, Series, experiment_ids, get_experiment
 
-__all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result", "write_report"]
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+    "write_report",
+    "JOURNAL_NAME",
+    "FAILURES_NAME",
+]
 
 #: Format version for stored results.
 SCHEMA_VERSION = 1
+
+#: File names used inside a report directory.
+JOURNAL_NAME = "journal.jsonl"
+FAILURES_NAME = "FAILURES.json"
 
 
 def result_to_dict(result: ExperimentResult) -> dict:
@@ -47,13 +68,30 @@ def result_from_dict(payload: dict) -> ExperimentResult:
     Raises
     ------
     ExperimentError
-        On missing keys or an unsupported schema version.
+        On missing keys, malformed structure, or an unsupported schema
+        version.  A document with a *newer* schema than this library
+        writes gets an explicit "upgrade repro" message rather than a
+        generic failure.
     """
+    if not isinstance(payload, dict):
+        raise ExperimentError(
+            f"malformed result document: expected an object, got {type(payload).__name__}"
+        )
     try:
-        if payload["schema"] != SCHEMA_VERSION:
+        schema = payload["schema"]
+        if not isinstance(schema, int):
             raise ExperimentError(
-                f"unsupported result schema {payload['schema']!r}"
+                f"malformed result document: schema must be an integer, got {schema!r}"
             )
+        if schema > SCHEMA_VERSION:
+            raise ExperimentError(
+                f"result schema {schema} is newer than this repro supports "
+                f"({SCHEMA_VERSION}); upgrade repro to read this file"
+            )
+        if schema != SCHEMA_VERSION:
+            raise ExperimentError(f"unsupported result schema {schema!r}")
+        if not isinstance(payload["series"], list):
+            raise ExperimentError("malformed result document: series must be a list")
         series = tuple(
             Series(
                 name=entry["name"],
@@ -70,11 +108,13 @@ def result_from_dict(payload: dict) -> ExperimentResult:
         )
     except KeyError as missing:
         raise ExperimentError(f"malformed result document: missing {missing}") from None
+    except TypeError:
+        raise ExperimentError("malformed result document: series entries malformed") from None
 
 
 def save_result(result: ExperimentResult, path: Union[str, Path]) -> None:
-    """Write ``result`` as pretty-printed JSON."""
-    Path(path).write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+    """Write ``result`` as pretty-printed JSON (atomic tmp+rename)."""
+    write_text_atomic(path, json.dumps(result_to_dict(result), indent=2) + "\n")
 
 
 def load_result(path: Union[str, Path]) -> ExperimentResult:
@@ -86,10 +126,54 @@ def load_result(path: Union[str, Path]) -> ExperimentResult:
     return result_from_dict(payload)
 
 
+def _artifact_valid(out: Path, experiment_id: str) -> bool:
+    """True when both report artefacts of ``experiment_id`` load cleanly."""
+    json_path = out / f"{experiment_id}.json"
+    txt_path = out / f"{experiment_id}.txt"
+    if not txt_path.exists():
+        return False
+    try:
+        load_result(json_path)
+    except (ReproError, OSError):
+        return False
+    return True
+
+
+def _report_unit(
+    out: Path, experiment: Experiment, scale: Optional[float]
+) -> RunUnit:
+    experiment_id = experiment.experiment_id
+
+    def run() -> str:
+        result = experiment.run(scale=scale)
+        json_path = out / f"{experiment_id}.json"
+        save_result(result, json_path)
+        write_text_atomic(out / f"{experiment_id}.txt", result.render() + "\n")
+        # Test hook: emulates a torn write that bypassed atomic rename.
+        faults.maybe_corrupt_file(experiment_id, json_path)
+        return experiment_id
+
+    return RunUnit(
+        unit_id=experiment_id,
+        payload={
+            "experiment_id": experiment_id,
+            "scale": scale,
+            "schema": SCHEMA_VERSION,
+        },
+        run=run,
+        check_skip=lambda: _artifact_valid(out, experiment_id),
+    )
+
+
 def write_report(
     out_dir: Union[str, Path],
     ids: Optional[Iterable[str]] = None,
     scale: Optional[float] = None,
+    *,
+    resume: bool = False,
+    keep_going: bool = False,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
 ) -> List[str]:
     """Run experiments and write ``<id>.json`` / ``<id>.txt`` + an index.
 
@@ -101,23 +185,62 @@ def write_report(
         Experiment ids to run; default all registered.
     scale:
         Trace scale passed to each experiment.
+    resume:
+        Replay ``journal.jsonl`` in ``out_dir`` and skip experiments
+        already completed with the same id/scale/schema — provided
+        their artefacts still load (corrupt or missing files re-run).
+    keep_going:
+        Isolate per-experiment failures: finish the rest of the report
+        and write a ``FAILURES.json`` manifest instead of raising on
+        the first failure.  Without it the first failure is re-raised,
+        but the journal and manifest still record everything done so
+        far, so a later ``resume`` run picks up where this one stopped.
+    timeout_s:
+        Per-experiment wall-clock budget (SIGALRM-based; main thread
+        only).
+    retries:
+        Extra attempts per experiment for transient failures, with
+        exponential backoff (timeouts are not retried).
 
     Returns
     -------
     list of str
-        The ids written, in run order.
+        The ids whose artefacts are present and valid after this call
+        (freshly run or resumed), in run order.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     chosen = list(ids) if ids is not None else experiment_ids()
-    index_lines = []
-    for experiment_id in chosen:
-        experiment = get_experiment(experiment_id)
-        result = experiment.run(scale=scale)
-        save_result(result, out / f"{experiment_id}.json")
-        (out / f"{experiment_id}.txt").write_text(result.render() + "\n")
-        index_lines.append(
-            f"{experiment_id}\t{experiment.paper_reference}\t{experiment.title}"
+    # Resolve everything up front: an unknown id fails fast, before any
+    # artefact or journal is touched.
+    experiments = [get_experiment(experiment_id) for experiment_id in chosen]
+    journal = RunJournal.open(out / JOURNAL_NAME, resume=resume)
+    runner = Runner(
+        journal=journal,
+        retry=RetryPolicy(max_attempts=retries + 1),
+        timeout_s=timeout_s,
+        keep_going=keep_going,
+    )
+    run = runner.run([_report_unit(out, experiment, scale) for experiment in experiments])
+
+    completed = {outcome.unit_id for outcome in run.completed}
+    written = [eid for eid in chosen if eid in completed]
+    index_lines = [
+        f"{experiment.experiment_id}\t{experiment.paper_reference}\t{experiment.title}"
+        for experiment in experiments
+        if experiment.experiment_id in completed
+    ]
+    if index_lines:
+        write_text_atomic(out / "INDEX.tsv", "\n".join(index_lines) + "\n")
+
+    failures_path = out / FAILURES_NAME
+    if run.failed:
+        write_text_atomic(
+            failures_path, json.dumps(run.failures_manifest(), indent=2) + "\n"
         )
-    (out / "INDEX.tsv").write_text("\n".join(index_lines) + "\n")
-    return chosen
+    else:
+        failures_path.unlink(missing_ok=True)
+
+    if run.failed and not keep_going:
+        run.raise_first_failure()
+    return written

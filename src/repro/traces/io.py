@@ -27,6 +27,7 @@ from typing import List, Union
 import numpy as np
 
 from ..errors import TraceError
+from ..runner.atomic import atomic_open
 from .address import Trace
 
 __all__ = ["save_trace", "load_trace", "read_din", "write_din"]
@@ -37,16 +38,61 @@ _DIN_FETCH = 2
 
 
 def save_trace(trace: Trace, path: Union[str, Path]) -> None:
-    """Write ``trace`` to ``path`` as a compressed ``.npz`` archive."""
+    """Write ``trace`` to ``path`` as a compressed ``.npz`` archive.
+
+    The archive is written to a ``.tmp`` sibling and renamed into
+    place, so an interrupted save never leaves a torn archive behind.
+    """
     path = Path(path)
-    np.savez_compressed(
-        path,
-        name=np.array(trace.name),
-        i_addrs=trace.i_addrs,
-        d_addrs=trace.d_addrs,
-        d_times=trace.d_times,
-        d_is_store=trace.d_is_store,
-    )
+    if not path.suffix:
+        # np.savez appends .npz to bare filenames; keep that contract.
+        path = path.with_suffix(".npz")
+    with atomic_open(path, "wb") as handle:
+        np.savez_compressed(
+            handle,
+            name=np.array(trace.name),
+            i_addrs=trace.i_addrs,
+            d_addrs=trace.d_addrs,
+            d_times=trace.d_times,
+            d_is_store=trace.d_is_store,
+        )
+
+
+def _validate_trace_arrays(
+    path: Path,
+    i_addrs: np.ndarray,
+    d_addrs: np.ndarray,
+    d_times: np.ndarray,
+    d_is_store: "np.ndarray | None",
+) -> None:
+    for label, array in (("i_addrs", i_addrs), ("d_addrs", d_addrs), ("d_times", d_times)):
+        if not np.issubdtype(array.dtype, np.integer):
+            raise TraceError(
+                f"{path}: {label} must be an integer array, got dtype {array.dtype}"
+            )
+    if len(d_addrs) != len(d_times):
+        raise TraceError(
+            f"{path}: d_addrs ({len(d_addrs)}) and d_times ({len(d_times)}) "
+            f"lengths disagree"
+        )
+    if d_is_store is not None:
+        if not (
+            d_is_store.dtype == np.bool_
+            or np.issubdtype(d_is_store.dtype, np.integer)
+        ):
+            raise TraceError(
+                f"{path}: d_is_store must be boolean, got dtype {d_is_store.dtype}"
+            )
+        if len(d_is_store) != len(d_addrs):
+            raise TraceError(
+                f"{path}: d_is_store ({len(d_is_store)}) and d_addrs "
+                f"({len(d_addrs)}) lengths disagree"
+            )
+    if len(d_times):
+        if d_times[0] < 0:
+            raise TraceError(f"{path}: d_times must be non-negative")
+        if np.any(np.diff(d_times) < 0):
+            raise TraceError(f"{path}: d_times must be non-decreasing")
 
 
 def load_trace(path: Union[str, Path]) -> Trace:
@@ -55,7 +101,9 @@ def load_trace(path: Union[str, Path]) -> Trace:
     Raises
     ------
     TraceError
-        If the archive does not contain the expected arrays.
+        If the archive does not contain the expected arrays, or the
+        arrays fail validation (wrong dtypes, mismatched lengths,
+        decreasing ``d_times``, out-of-range indices).
     """
     path = Path(path)
     with np.load(path, allow_pickle=False) as archive:
@@ -68,7 +116,11 @@ def load_trace(path: Union[str, Path]) -> Trace:
             raise TraceError(f"{path} is not a trace archive: missing {missing}") from None
         # Archives written before store flags existed stay loadable.
         d_is_store = archive["d_is_store"] if "d_is_store" in archive else None
-    return Trace(name, i_addrs, d_addrs, d_times, d_is_store)
+    _validate_trace_arrays(path, i_addrs, d_addrs, d_times, d_is_store)
+    try:
+        return Trace(name, i_addrs, d_addrs, d_times, d_is_store)
+    except TraceError as error:
+        raise TraceError(f"{path}: {error}") from None
 
 
 def _open_text(path: Path, mode: str):
@@ -135,20 +187,31 @@ def read_din(path: Union[str, Path], name: str = "") -> Trace:
 def write_din(trace: Trace, path: Union[str, Path]) -> None:
     """Write ``trace`` in ``din`` format (gzip if the path ends ``.gz``).
 
-    Data references are emitted as reads immediately after the fetch of
-    the instruction that issued them, preserving the program order the
-    simulators use.
+    Data references are emitted after the fetch of the instruction that
+    issued them, preserving the program order the simulators use.
+    Every data reference is emitted: a reference whose ``d_times`` is
+    behind the cursor (out of order) still attaches to the current
+    fetch, and one past the last fetch raises :class:`TraceError`
+    rather than being silently dropped — so
+    ``read_din(write_din(t))`` always preserves reference counts.
+    The file is fully rendered before anything touches disk, so a
+    rejected trace leaves no partial artefact.
     """
     path = Path(path)
     d_cursor = 0
     n_data = trace.n_data_refs
     d_times = trace.d_times
+    buffer = io.StringIO()
+    for cycle, i_addr in enumerate(trace.i_addrs.tolist()):
+        buffer.write(f"{_DIN_FETCH} {i_addr:x}\n")
+        while d_cursor < n_data and d_times[d_cursor] <= cycle:
+            label = _DIN_WRITE if trace.d_is_store[d_cursor] else _DIN_READ
+            buffer.write(f"{label} {trace.d_addrs[d_cursor]:x}\n")
+            d_cursor += 1
+    if d_cursor != n_data:
+        raise TraceError(
+            f"{path}: {n_data - d_cursor} data references issue after the last "
+            f"instruction fetch and cannot be represented in din format"
+        )
     with _open_text(path, "w") as handle:
-        buffer = io.StringIO()
-        for cycle, i_addr in enumerate(trace.i_addrs.tolist()):
-            buffer.write(f"{_DIN_FETCH} {i_addr:x}\n")
-            while d_cursor < n_data and d_times[d_cursor] == cycle:
-                label = _DIN_WRITE if trace.d_is_store[d_cursor] else _DIN_READ
-                buffer.write(f"{label} {trace.d_addrs[d_cursor]:x}\n")
-                d_cursor += 1
         handle.write(buffer.getvalue())

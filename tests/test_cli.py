@@ -23,11 +23,17 @@ class TestRun:
         out = capsys.readouterr().out
         assert "tomcatv" in out
 
-    def test_unknown_experiment_raises(self):
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "unknown experiment" in err
+
+    def test_debug_flag_raises(self):
         from repro.errors import ExperimentError
 
         with pytest.raises(ExperimentError):
-            main(["run", "fig99"])
+            main(["--debug", "run", "fig99"])
 
 
 class TestEval:
@@ -76,6 +82,78 @@ class TestWorkloads:
         out = capsys.readouterr().out
         for name in ("gcc1", "espresso", "fpppp", "tomcatv"):
             assert name in out
+
+
+class TestErrorHandling:
+    def test_invalid_geometry_exits_2(self, capsys):
+        assert main(["eval", "--l1-kb", "3"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_invalid_geometry_debug_raises(self):
+        from repro.errors import GeometryError
+
+        with pytest.raises(GeometryError):
+            main(["--debug", "eval", "--l1-kb", "3"])
+
+    def test_unknown_workload_exits_2(self, capsys):
+        assert main(["eval", "--workload", "nope", "--scale", "0.02"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_sweep_prints_table(self, capsys, tmp_path):
+        code = main(
+            [
+                "sweep",
+                "--workload",
+                "espresso",
+                "--scale",
+                "0.02",
+                "--out",
+                str(tmp_path / "sw"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "config" in out and "tpi_ns" in out
+        assert (tmp_path / "sw" / "sweep.tsv").exists()
+        assert (tmp_path / "sw" / "sweep.journal.jsonl").exists()
+
+    def test_sweep_resume_reuses_journal(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--workload",
+            "espresso",
+            "--scale",
+            "0.02",
+            "--out",
+            str(tmp_path / "sw"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestReportFlags:
+    def test_keep_going_clean_run_exits_0(self, capsys, tmp_path):
+        out = tmp_path / "r"
+        code = main(
+            ["report", "--out", str(out), "--ids", "fig21", "--keep-going"]
+        )
+        assert code == 0
+        assert "wrote 1 experiments" in capsys.readouterr().out
+        assert not (out / "FAILURES.json").exists()
+
+    def test_resume_skips_completed(self, capsys, tmp_path):
+        out = tmp_path / "r"
+        assert main(["report", "--out", str(out), "--ids", "fig21"]) == 0
+        capsys.readouterr()
+        assert main(
+            ["report", "--out", str(out), "--ids", "fig21", "--resume"]
+        ) == 0
+        assert "wrote 1 experiments" in capsys.readouterr().out
 
 
 class TestParser:

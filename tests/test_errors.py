@@ -3,19 +3,31 @@
 import pytest
 
 from repro.errors import (
+    CheckpointError,
     ConfigurationError,
     ExperimentError,
     GeometryError,
     ModelError,
     ReproError,
+    RunnerError,
     TraceError,
+    UnitTimeoutError,
 )
 
 
 class TestHierarchy:
     @pytest.mark.parametrize(
         "exc",
-        [ConfigurationError, GeometryError, ModelError, TraceError, ExperimentError],
+        [
+            ConfigurationError,
+            GeometryError,
+            ModelError,
+            TraceError,
+            ExperimentError,
+            RunnerError,
+            CheckpointError,
+            UnitTimeoutError,
+        ],
     )
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
@@ -23,6 +35,11 @@ class TestHierarchy:
     def test_geometry_is_a_configuration_error(self):
         """Callers validating configurations catch geometry issues too."""
         assert issubclass(GeometryError, ConfigurationError)
+
+    def test_checkpoint_and_timeout_are_runner_errors(self):
+        """Callers wrapping the engine catch all its failure modes at once."""
+        assert issubclass(CheckpointError, RunnerError)
+        assert issubclass(UnitTimeoutError, RunnerError)
 
     def test_catchable_as_base(self):
         with pytest.raises(ReproError):

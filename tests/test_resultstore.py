@@ -73,6 +73,33 @@ class TestRoundTrip:
         assert payload["experiment_id"] == "figX"
         assert payload["series"][0]["rows"][0] == ["1:0", 1000.0, 5.5]
 
+    def test_save_is_atomic_no_tmp_sibling(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_result(sample_result(), path)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_newer_schema_suggests_upgrade(self):
+        payload = result_to_dict(sample_result())
+        payload["schema"] = 999
+        with pytest.raises(ExperimentError, match="upgrade repro"):
+            result_from_dict(payload)
+
+    def test_non_integer_schema_is_malformed(self):
+        payload = result_to_dict(sample_result())
+        payload["schema"] = "1"
+        with pytest.raises(ExperimentError, match="malformed"):
+            result_from_dict(payload)
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(ExperimentError, match="malformed"):
+            result_from_dict([1, 2, 3])
+
+    def test_non_list_series_rejected(self):
+        payload = result_to_dict(sample_result())
+        payload["series"] = {"name": "s"}
+        with pytest.raises(ExperimentError, match="series"):
+            result_from_dict(payload)
+
 
 class TestWriteReport:
     def test_writes_selected_ids(self, tmp_path):
@@ -103,3 +130,20 @@ class TestWriteReport:
         assert code == 0
         assert "wrote 1 experiments" in capsys.readouterr().out
         assert (out / "fig21.txt").exists()
+
+    def test_report_writes_journal(self, tmp_path):
+        out = tmp_path / "out"
+        write_report(out, ids=["fig21"], scale=0.02)
+        first_line = (out / "journal.jsonl").read_text().splitlines()[0]
+        assert json.loads(first_line)["journal"] == 1
+
+    def test_report_leaves_no_tmp_files(self, tmp_path):
+        out = tmp_path / "out"
+        write_report(out, ids=["fig21"], scale=0.02)
+        assert not list(out.glob("*.tmp"))
+
+    def test_resume_returns_same_ids(self, tmp_path):
+        out = tmp_path / "out"
+        first = write_report(out, ids=["fig21"], scale=0.02)
+        again = write_report(out, ids=["fig21"], scale=0.02, resume=True)
+        assert first == again == ["fig21"]

@@ -1,0 +1,497 @@
+"""Resilient execution engine: journal, isolation, retries, timeouts,
+fault injection, and the kill-and-resume round trip through
+``write_report`` and ``run_sweep``."""
+
+import json
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.explorer import SweepPoint, as_point, run_sweep
+from repro.errors import (
+    CheckpointError,
+    ModelError,
+    RunnerError,
+    UnitTimeoutError,
+)
+from repro.runner import (
+    RetryPolicy,
+    RunJournal,
+    Runner,
+    RunUnit,
+    atomic_open,
+    unit_key,
+    write_text_atomic,
+)
+from repro.runner import faults
+from repro.study.registry import _REGISTRY, ExperimentResult, Series, register
+from repro.study.resultstore import load_result, write_report
+from repro.units import kb
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def make_unit(unit_id, fn=None, **kwargs):
+    return RunUnit(
+        unit_id=unit_id,
+        payload={"id": unit_id},
+        run=fn if fn is not None else lambda: unit_id,
+        **kwargs,
+    )
+
+
+def no_tmp_leftovers(directory):
+    return not list(directory.rglob("*.tmp"))
+
+
+class TestAtomicWrites:
+    def test_write_text_atomic(self, tmp_path):
+        path = tmp_path / "a" / "b.txt"
+        write_text_atomic(path, "hello")
+        assert path.read_text() == "hello"
+        assert no_tmp_leftovers(tmp_path)
+
+    def test_failed_write_leaves_nothing(self, tmp_path):
+        path = tmp_path / "x.json"
+        with pytest.raises(RuntimeError):
+            with atomic_open(path) as handle:
+                handle.write("{half a docu")
+                raise RuntimeError("simulated crash mid-write")
+        assert not path.exists()
+        assert no_tmp_leftovers(tmp_path)
+
+    def test_failed_rewrite_keeps_previous_content(self, tmp_path):
+        path = tmp_path / "x.json"
+        write_text_atomic(path, "old complete artefact")
+        with pytest.raises(RuntimeError):
+            with atomic_open(path) as handle:
+                handle.write("new torn")
+                raise RuntimeError("boom")
+        assert path.read_text() == "old complete artefact"
+
+
+class TestJournal:
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal.open(path)
+        key = unit_key({"id": "u1"})
+        journal.record("u1", key, "ok", attempts=2, elapsed_s=0.5)
+        reloaded = RunJournal.open(path, resume=True)
+        assert reloaded.completed("u1", key)
+        assert reloaded.entry("u1")["attempts"] == 2
+        assert no_tmp_leftovers(tmp_path)
+
+    def test_key_mismatch_not_completed(self, tmp_path):
+        journal = RunJournal.open(tmp_path / "j.jsonl")
+        journal.record("u1", unit_key({"scale": 0.1}), "ok")
+        assert not journal.completed("u1", unit_key({"scale": 0.2}))
+
+    def test_failed_entry_not_completed(self, tmp_path):
+        journal = RunJournal.open(tmp_path / "j.jsonl")
+        key = unit_key({"id": "u1"})
+        journal.record("u1", key, "failed", error={"type": "ModelError"})
+        assert not journal.completed("u1", key)
+
+    def test_open_without_resume_discards_state(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        key = unit_key({"id": "u1"})
+        RunJournal.open(path).record("u1", key, "ok")
+        fresh = RunJournal.open(path, resume=False)
+        assert not fresh.completed("u1", key)
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal.open(path)
+        key = unit_key({"id": "u1"})
+        journal.record("u1", key, "ok")
+        with open(path, "a") as handle:
+            handle.write('{"unit": "u2", "stat')  # torn append, no newline flush
+        reloaded = RunJournal.open(path, resume=True)
+        assert reloaded.completed("u1", key)
+        assert reloaded.entry("u2") is None
+
+    def test_corrupt_header_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(CheckpointError, match="header"):
+            RunJournal.open(path, resume=True)
+
+    def test_corrupt_middle_entry_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal.open(path)
+        journal.record("u1", unit_key({"id": "u1"}), "ok")
+        lines = path.read_text().splitlines()
+        lines[1] = "garbage {{{"
+        path.write_text("\n".join(lines) + "\n" + '{"more": "after"}\n')
+        with pytest.raises(CheckpointError, match="corrupt journal entry"):
+            RunJournal.open(path, resume=True)
+
+    def test_unit_key_deterministic_and_order_free(self):
+        assert unit_key({"a": 1, "b": 2}) == unit_key({"b": 2, "a": 1})
+        assert unit_key({"a": 1}) != unit_key({"a": 2})
+
+
+class TestRetry:
+    def test_retry_then_succeed(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ModelError("transient")
+            return "done"
+
+        delays = []
+        runner = Runner(
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.01),
+            sleep=delays.append,
+        )
+        result = runner.run([make_unit("u", flaky)])
+        outcome = result.outcomes[0]
+        assert outcome.status == "ok"
+        assert outcome.value == "done"
+        assert outcome.attempts == 3
+        assert delays == [0.01, 0.02]  # exponential backoff
+
+    def test_retries_exhausted(self):
+        runner = Runner(
+            retry=RetryPolicy(max_attempts=2, backoff_s=0),
+            keep_going=True,
+            sleep=lambda _: None,
+        )
+
+        def always_fails():
+            raise ModelError("permanent")
+
+        result = runner.run([make_unit("u", always_fails)])
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.attempts == 2
+        assert outcome.error["type"] == "ModelError"
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(backoff_s=1.0, backoff_factor=10.0, max_backoff_s=3.0)
+        assert policy.delay(1) == 1.0
+        assert policy.delay(2) == 3.0
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(RunnerError):
+            RetryPolicy(max_attempts=0)
+
+    def test_injected_fault_retried_via_hook(self):
+        faults.install(faults.FaultPlan(fail_unit="u", fail_times=2))
+        calls = []
+        runner = Runner(
+            retry=RetryPolicy(max_attempts=3, backoff_s=0), sleep=lambda _: None
+        )
+        result = runner.run([make_unit("u", lambda: calls.append(1) or "ok")])
+        assert result.outcomes[0].status == "ok"
+        assert result.outcomes[0].attempts == 3
+        assert len(calls) == 1  # the first two attempts died in the hook
+
+
+class TestIsolation:
+    def test_one_failure_does_not_kill_the_run(self):
+        def boom():
+            raise ModelError("degenerate configuration")
+
+        units = [make_unit("a"), make_unit("b", boom), make_unit("c")]
+        result = Runner(keep_going=True).run(units)
+        assert [o.status for o in result.outcomes] == ["ok", "failed", "ok"]
+        record = result.failed[0].error
+        assert record["unit"] == "b"
+        assert record["type"] == "ModelError"
+        assert record["message"] == "degenerate configuration"
+        assert record["config"] == {"id": "b"}
+        assert record["elapsed_s"] >= 0
+
+    def test_without_keep_going_stops_at_failure(self):
+        ran = []
+
+        def boom():
+            raise ModelError("nope")
+
+        units = [
+            make_unit("a", lambda: ran.append("a")),
+            make_unit("b", boom),
+            make_unit("c", lambda: ran.append("c")),
+        ]
+        result = Runner(keep_going=False).run(units)
+        assert ran == ["a"]
+        assert len(result.outcomes) == 2
+        with pytest.raises(ModelError):
+            result.raise_first_failure()
+
+
+class TestTimeout:
+    def test_slow_unit_aborted(self):
+        faults.install(faults.FaultPlan(delay_unit="slow", delay_s=5.0))
+        runner = Runner(timeout_s=0.2, keep_going=True)
+        result = runner.run([make_unit("slow"), make_unit("fast")])
+        slow, fast = result.outcomes
+        assert slow.status == "failed"
+        assert slow.error["type"] == "UnitTimeoutError"
+        assert slow.elapsed_s < 2.0
+        assert fast.status == "ok"
+
+    def test_timeout_not_retried(self):
+        faults.install(faults.FaultPlan(delay_unit="slow", delay_s=5.0))
+        runner = Runner(
+            timeout_s=0.2,
+            retry=RetryPolicy(max_attempts=3, backoff_s=0),
+            keep_going=True,
+            sleep=lambda _: None,
+        )
+        result = runner.run([make_unit("slow")])
+        assert result.outcomes[0].attempts == 1
+
+
+class TestFaultPlans:
+    def test_parse_full_spec(self):
+        plan = faults.parse_plan("fail=fig5:2,crash=fig7,delay=fig3:0.5,corrupt=fig9")
+        assert plan.fail_unit == "fig5" and plan.fail_times == 2
+        assert plan.crash_unit == "fig7"
+        assert plan.delay_unit == "fig3" and plan.delay_s == 0.5
+        assert plan.corrupt_unit == "fig9"
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(RunnerError):
+            faults.parse_plan("explode=fig5")
+        with pytest.raises(RunnerError):
+            faults.parse_plan("fail=fig5:lots")
+
+    def test_env_var_plan(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "fail=u:1")
+        runner = Runner(keep_going=True)
+        result = runner.run([make_unit("u")])
+        assert result.outcomes[0].status == "failed"
+        assert result.outcomes[0].error["type"] == "InjectedFault"
+
+    def test_crash_is_not_isolated(self):
+        faults.install(faults.FaultPlan(crash_unit="b"))
+        with pytest.raises(faults.InjectedCrash):
+            Runner(keep_going=True).run([make_unit("a"), make_unit("b")])
+
+
+class TestKillAndResume:
+    def test_journal_replay_skips_completed_units(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        calls = {"a": 0, "b": 0, "c": 0}
+
+        def units():
+            def bump(uid):
+                calls[uid] += 1
+                return uid
+
+            return [make_unit(uid, lambda uid=uid: bump(uid)) for uid in "abc"]
+
+        faults.install(faults.FaultPlan(crash_unit="b"))
+        with pytest.raises(faults.InjectedCrash):
+            Runner(journal=RunJournal.open(path)).run(units())
+        assert calls == {"a": 1, "b": 0, "c": 0}
+
+        faults.clear()
+        result = Runner(journal=RunJournal.open(path, resume=True)).run(units())
+        assert calls == {"a": 1, "b": 1, "c": 1}
+        assert [o.status for o in result.outcomes] == ["skipped", "ok", "ok"]
+
+    def test_resume_restores_recorded_values(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        unit = make_unit(
+            "u",
+            lambda: 41 + 1,
+            to_record=lambda v: {"value": v},
+            from_record=lambda r: r["value"],
+        )
+        Runner(journal=RunJournal.open(path)).run([unit])
+        result = Runner(journal=RunJournal.open(path, resume=True)).run([unit])
+        assert result.outcomes[0].status == "skipped"
+        assert result.outcomes[0].value == 42
+
+    def test_check_skip_forces_rerun(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        calls = []
+        unit = make_unit("u", lambda: calls.append(1))
+        Runner(journal=RunJournal.open(path)).run([unit])
+        stale = make_unit("u", lambda: calls.append(1), check_skip=lambda: False)
+        Runner(journal=RunJournal.open(path, resume=True)).run([stale])
+        assert len(calls) == 2
+
+
+# --- write_report integration -------------------------------------------
+
+
+@pytest.fixture
+def fake_experiments():
+    """Register three tiny experiments; deregister on teardown."""
+
+    ids = ["unitA", "unitB", "unitC"]
+    calls = {eid: 0 for eid in ids}
+
+    def make(eid):
+        def runner(scale):
+            calls[eid] += 1
+            return ExperimentResult(
+                experiment_id=eid,
+                title=f"fake {eid}",
+                series=(
+                    Series(name="s", columns=("x", "y"), rows=((1, 2.0), (3, 4.0))),
+                ),
+            )
+
+        register(eid, f"fake {eid}", "test")(runner)
+
+    for eid in ids:
+        make(eid)
+    try:
+        yield ids, calls
+    finally:
+        for eid in ids:
+            _REGISTRY.pop(eid, None)
+
+
+class TestWriteReportResilience:
+    def test_kill_and_resume_round_trip(self, tmp_path, fake_experiments):
+        ids, calls = fake_experiments
+        out = tmp_path / "report"
+
+        faults.install(faults.FaultPlan(crash_unit="unitB"))
+        with pytest.raises(faults.InjectedCrash):
+            write_report(out, ids=ids)
+        assert calls == {"unitA": 1, "unitB": 0, "unitC": 0}
+        assert load_result(out / "unitA.json").experiment_id == "unitA"
+        assert not (out / "unitB.json").exists()
+        assert no_tmp_leftovers(out)
+
+        faults.clear()
+        written = write_report(out, ids=ids, resume=True)
+        assert written == ids
+        assert calls == {"unitA": 1, "unitB": 1, "unitC": 1}
+        index = (out / "INDEX.tsv").read_text()
+        for eid in ids:
+            assert eid in index
+
+    def test_keep_going_partial_report_and_manifest(self, tmp_path, fake_experiments):
+        ids, calls = fake_experiments
+        out = tmp_path / "report"
+        faults.install(faults.FaultPlan(fail_unit="unitB", fail_times=99))
+
+        written = write_report(out, ids=ids, keep_going=True)
+        assert written == ["unitA", "unitC"]
+        manifest = json.loads((out / "FAILURES.json").read_text())
+        assert manifest["schema"] == 1
+        (entry,) = manifest["failures"]
+        assert entry["unit"] == "unitB"
+        assert entry["type"] == "InjectedFault"
+        assert entry["config"]["experiment_id"] == "unitB"
+        assert "unitB" not in (out / "INDEX.tsv").read_text()
+
+        # The failure is journalled too, so resume retries only unitB.
+        faults.clear()
+        written = write_report(out, ids=ids, resume=True)
+        assert written == ids
+        assert calls == {"unitA": 1, "unitB": 1, "unitC": 1}
+        assert not (out / "FAILURES.json").exists()
+
+    def test_failure_without_keep_going_raises_but_journals(
+        self, tmp_path, fake_experiments
+    ):
+        ids, _ = fake_experiments
+        out = tmp_path / "report"
+        faults.install(faults.FaultPlan(fail_unit="unitB", fail_times=99))
+        with pytest.raises(faults.InjectedFault):
+            write_report(out, ids=ids)
+        assert (out / "unitA.json").exists()
+        assert json.loads((out / "FAILURES.json").read_text())["failures"]
+
+    def test_retry_then_succeed(self, tmp_path, fake_experiments):
+        ids, calls = fake_experiments
+        out = tmp_path / "report"
+        faults.install(faults.FaultPlan(fail_unit="unitA", fail_times=2))
+        written = write_report(out, ids=["unitA"], retries=2)
+        assert written == ["unitA"]
+        journal = json.loads((out / "journal.jsonl").read_text().splitlines()[-1])
+        assert journal["status"] == "ok"
+        assert journal["attempts"] == 3
+
+    def test_timeout_recorded_in_manifest(self, tmp_path, fake_experiments):
+        ids, _ = fake_experiments
+        out = tmp_path / "report"
+        faults.install(faults.FaultPlan(delay_unit="unitA", delay_s=5.0))
+        written = write_report(out, ids=ids, keep_going=True, timeout_s=0.2)
+        assert written == ["unitB", "unitC"]
+        (entry,) = json.loads((out / "FAILURES.json").read_text())["failures"]
+        assert entry["type"] == "UnitTimeoutError"
+
+    def test_corrupt_artifact_rerun_on_resume(self, tmp_path, fake_experiments):
+        ids, calls = fake_experiments
+        out = tmp_path / "report"
+        faults.install(faults.FaultPlan(corrupt_unit="unitA"))
+        write_report(out, ids=["unitA"])
+        with pytest.raises(Exception):
+            load_result(out / "unitA.json")
+
+        # Journal says OK, but resume validates artefacts and re-runs.
+        faults.clear()
+        written = write_report(out, ids=["unitA"], resume=True)
+        assert written == ["unitA"]
+        assert calls["unitA"] == 2
+        assert load_result(out / "unitA.json").experiment_id == "unitA"
+
+    def test_resume_skips_valid_artifacts(self, tmp_path, fake_experiments):
+        ids, calls = fake_experiments
+        out = tmp_path / "report"
+        write_report(out, ids=ids)
+        written = write_report(out, ids=ids, resume=True)
+        assert written == ids
+        assert all(count == 1 for count in calls.values())
+
+    def test_scale_change_invalidates_journal_entries(
+        self, tmp_path, fake_experiments
+    ):
+        ids, calls = fake_experiments
+        out = tmp_path / "report"
+        write_report(out, ids=["unitA"], scale=0.1)
+        write_report(out, ids=["unitA"], scale=0.2, resume=True)
+        assert calls["unitA"] == 2
+
+
+# --- sweep integration --------------------------------------------------
+
+
+class TestSweepResilience:
+    def configs(self):
+        return [
+            SystemConfig(l1_bytes=kb(1)),
+            SystemConfig(l1_bytes=kb(2)),
+            SystemConfig(l1_bytes=kb(4)),
+        ]
+
+    def test_keep_going_isolates_one_point(self):
+        configs = self.configs()
+        unit_id = f"0001:{configs[1].label}"
+        faults.install(faults.FaultPlan(fail_unit=unit_id, fail_times=99))
+        result = run_sweep("espresso", configs, scale=0.02, keep_going=True)
+        assert len(result.completed) == 2
+        assert result.failed[0].error["unit"] == unit_id
+
+    def test_journal_resume_restores_points(self, tmp_path):
+        configs = self.configs()
+        journal = tmp_path / "sweep.jsonl"
+        first = run_sweep("espresso", configs, scale=0.02, journal_path=journal)
+        fresh_points = [as_point(value) for value in first.values()]
+
+        resumed = run_sweep(
+            "espresso", configs, scale=0.02, journal_path=journal, resume=True
+        )
+        assert all(o.status == "skipped" for o in resumed.outcomes)
+        restored = resumed.values()
+        assert all(isinstance(p, SweepPoint) for p in restored)
+        assert [(p.label, round(p.tpi_ns, 6)) for p in restored] == [
+            (p.label, round(p.tpi_ns, 6)) for p in fresh_points
+        ]

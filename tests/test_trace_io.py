@@ -43,6 +43,58 @@ class TestNpzRoundTrip:
         with pytest.raises(TraceError, match="missing"):
             load_trace(path)
 
+    def test_save_leaves_no_tmp_sibling(self, tmp_path):
+        save_trace(small_trace(), tmp_path / "toy.npz")
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_float_addresses_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            name=np.array("bad"),
+            i_addrs=np.array([0.0, 4.0]),
+            d_addrs=np.array([], dtype=np.int64),
+            d_times=np.array([], dtype=np.int64),
+        )
+        with pytest.raises(TraceError, match="integer"):
+            load_trace(path)
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            name=np.array("bad"),
+            i_addrs=np.array([0, 4]),
+            d_addrs=np.array([8, 12]),
+            d_times=np.array([0]),
+        )
+        with pytest.raises(TraceError, match="lengths disagree"):
+            load_trace(path)
+
+    def test_decreasing_d_times_rejected_with_path(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            name=np.array("bad"),
+            i_addrs=np.array([0, 4, 8]),
+            d_addrs=np.array([16, 20]),
+            d_times=np.array([2, 1]),
+        )
+        with pytest.raises(TraceError, match="non-decreasing"):
+            load_trace(path)
+
+    def test_out_of_range_d_times_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            name=np.array("bad"),
+            i_addrs=np.array([0, 4]),
+            d_addrs=np.array([16]),
+            d_times=np.array([7]),
+        )
+        with pytest.raises(TraceError, match=str(path)):
+            load_trace(path)
+
 
 class TestDin:
     def test_read_din_basic(self, tmp_path):
@@ -109,6 +161,27 @@ class TestDin:
         assert loaded.i_addrs.tolist() == trace.i_addrs.tolist()
         assert loaded.d_addrs.tolist() == trace.d_addrs.tolist()
         assert loaded.d_times.tolist() == trace.d_times.tolist()
+
+    def test_round_trip_preserves_reference_counts(self, tmp_path):
+        # Several data refs on one instruction, a ref at instruction 0,
+        # stores mixed in, and a ref on the *last* instruction — every
+        # shape the cursor walk has to emit.
+        trace = Trace(
+            "dense",
+            np.array([0, 4, 8, 12]),
+            np.array([100, 104, 108, 112, 116]),
+            np.array([0, 0, 1, 3, 3]),
+            np.array([False, True, False, True, False]),
+        )
+        path = tmp_path / "dense.din"
+        write_din(trace, path)
+        loaded = read_din(path, name="dense")
+        assert loaded.n_instructions == trace.n_instructions
+        assert loaded.n_data_refs == trace.n_data_refs
+        assert loaded.d_addrs.tolist() == trace.d_addrs.tolist()
+        assert loaded.d_times.tolist() == trace.d_times.tolist()
+        assert loaded.d_is_store.tolist() == trace.d_is_store.tolist()
+        assert loaded.store_fraction == trace.store_fraction
 
     def test_din_trace_feeds_simulator(self, tmp_path):
         from repro.cache.hierarchy import simulate_hierarchy
