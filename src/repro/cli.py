@@ -22,6 +22,9 @@ Commands
     Evaluate the full design space point by point through the
     resilient runner.
 
+``report`` and ``sweep`` accept ``--workers N`` (or ``--workers auto``)
+to fan units out over worker processes with identical output.
+
 Library failures (:class:`~repro.errors.ReproError`) print a one-line
 ``error: …`` to stderr and exit with code 2; pass ``--debug`` for the
 full traceback.
@@ -167,6 +170,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         keep_going=args.keep_going,
         timeout_s=args.timeout,
         retries=args.retries,
+        workers=args.workers,
     )
     print(f"wrote {len(written)} experiments to {args.out}")
     manifest = Path(args.out) / FAILURES_NAME
@@ -196,6 +200,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         retries=args.retries,
         journal_path=journal_path,
         resume=args.resume,
+        workers=args.workers,
     )
     points = [as_point(value) for value in run.values()]
     rows = [(p.label, p.area_rbe, p.tpi_ns, p.levels) for p in points]
@@ -293,6 +298,13 @@ def _build_parser() -> argparse.ArgumentParser:
             default=0,
             metavar="N",
             help="extra attempts per unit for transient failures",
+        )
+        p.add_argument(
+            "--workers",
+            default=None,
+            metavar="N",
+            help="run units in N worker processes ('auto' = one per CPU; "
+            "default: serial); output is identical to a serial run",
         )
 
     report = sub.add_parser(

@@ -12,11 +12,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..cache.hierarchy import Policy
-from ..runner import RetryPolicy, RunJournal, Runner, RunResult, RunUnit
+from ..cache.hierarchy import Policy, l1_miss_stream
+from ..errors import RunnerError
+from ..runner import (
+    PoolRunner,
+    RetryPolicy,
+    RunJournal,
+    Runner,
+    RunResult,
+    RunUnit,
+    resolve_workers,
+)
 from ..traces.address import Trace
+from ..traces.store import get_trace
 from ..units import kb
 from .config import SystemConfig
 from .evaluate import SystemPerformance, evaluate
@@ -143,17 +153,79 @@ def as_point(value: Union[SystemPerformance, SweepPoint]) -> SweepPoint:
     )
 
 
+#: Traces passed to a sweep as explicit objects (rather than workload
+#: names), keyed by name.  The registry makes the picklable unit bodies
+#: below resolvable in any process: the parent registers before running
+#: serially, the pool initializer registers inside each worker.
+_SHARED_TRACES: Dict[str, Trace] = {}
+
+
+def _point_record(perf: "Union[SystemPerformance, SweepPoint]") -> dict:
+    """Journal serialiser for sweep values (module-level: picklable)."""
+    return as_point(perf).to_record()
+
+
+@dataclass(frozen=True)
+class _EvaluateRun:
+    """Picklable body of one sweep unit: evaluate one configuration.
+
+    ``workload`` is a name resolved through the memoised trace store,
+    or — when ``shared`` — through :data:`_SHARED_TRACES`, populated in
+    each process by the sweep's pool initializer (or the parent, for
+    serial runs).  Shipping a name instead of the trace keeps per-unit
+    pickling cheap regardless of trace size.
+    """
+
+    config: SystemConfig
+    workload: str
+    scale: Optional[float]
+    shared: bool = False
+
+    def __call__(self) -> SystemPerformance:
+        if not self.shared:
+            return evaluate(self.config, self.workload, scale=self.scale)
+        trace = _SHARED_TRACES.get(self.workload)
+        if trace is None:
+            raise RunnerError(
+                f"shared trace {self.workload!r} is not registered in this "
+                f"process; the sweep pool initializer did not run"
+            )
+        return evaluate(self.config, trace)
+
+
+def _sweep_worker_init(
+    workload: Union[str, Trace],
+    scale: Optional[float],
+    l1_shapes: Sequence[Tuple[int, int]],
+) -> None:
+    """Pool initializer: warm this worker's trace and L1 filter caches.
+
+    Runs once per worker process.  Generating (or receiving) the trace
+    and running the memoised L1 filter pass for every (L1 size, line
+    size) in the sweep up front means the per-unit work each worker
+    does afterwards is only the L2 replay — the expensive shared
+    prefix is computed once per worker, not once per unit.
+    """
+    if isinstance(workload, Trace):
+        _SHARED_TRACES[workload.name] = workload
+        trace = workload
+    else:
+        trace = get_trace(workload, scale)
+    for l1_bytes, line_size in l1_shapes:
+        l1_miss_stream(trace, l1_bytes, line_size)
+
+
 def _sweep_units(
     workload: Union[str, Trace],
     configs: Sequence[SystemConfig],
     scale: Optional[float],
 ) -> List[RunUnit]:
+    shared = not isinstance(workload, str)
     workload_name = workload if isinstance(workload, str) else workload.name
+    if shared:
+        _SHARED_TRACES[workload_name] = workload
     units = []
     for index, config in enumerate(configs):
-        def run(config: SystemConfig = config) -> SystemPerformance:
-            return evaluate(config, workload, scale=scale)
-
         units.append(
             RunUnit(
                 unit_id=f"{index:04d}:{config.label}",
@@ -163,8 +235,8 @@ def _sweep_units(
                     "scale": scale,
                     "config": config.describe(),
                 },
-                run=run,
-                to_record=lambda perf: as_point(perf).to_record(),
+                run=_EvaluateRun(config, workload_name, scale, shared=shared),
+                to_record=_point_record,
                 from_record=SweepPoint.from_record,
             )
         )
@@ -181,6 +253,8 @@ def run_sweep(
     retries: int = 0,
     journal_path: "Union[str, Path, None]" = None,
     resume: bool = False,
+    workers: Union[None, int, str] = None,
+    submit_order: Optional[Sequence[int]] = None,
 ) -> RunResult:
     """Evaluate configurations through the resilient engine.
 
@@ -190,17 +264,42 @@ def run_sweep(
     of re-simulating them.  ``keep_going`` isolates per-point failures;
     without it the run stops at the first failure (the caller decides
     whether to re-raise via ``RunResult.raise_first_failure``).
+
+    ``workers`` selects the execution backend: ``None`` (default) runs
+    serially; an integer or ``"auto"`` fans the configurations out over
+    that many worker processes (:class:`~repro.runner.PoolRunner`),
+    each pre-warmed with the sweep's trace and L1 filter passes.
+    Results, journal contents, and failure manifests are deterministic:
+    identical to the serial run whatever the worker count or completion
+    order (wall-clock ``elapsed_s`` measurements aside).
+    ``submit_order`` permutes submission order only (used by the
+    differential tests to prove order independence).
     """
     journal = (
         RunJournal.open(journal_path, resume=resume) if journal_path is not None else None
     )
-    runner = Runner(
-        journal=journal,
-        retry=RetryPolicy(max_attempts=retries + 1),
-        timeout_s=timeout_s,
-        keep_going=keep_going,
-    )
-    return runner.run(_sweep_units(workload, configs, scale))
+    units = _sweep_units(workload, configs, scale)
+    n_workers = resolve_workers(workers)
+    if n_workers is None:
+        runner: "Union[Runner, PoolRunner]" = Runner(
+            journal=journal,
+            retry=RetryPolicy(max_attempts=retries + 1),
+            timeout_s=timeout_s,
+            keep_going=keep_going,
+        )
+    else:
+        l1_shapes = sorted({(c.l1_bytes, c.line_size) for c in configs})
+        runner = PoolRunner(
+            journal=journal,
+            retry=RetryPolicy(max_attempts=retries + 1),
+            timeout_s=timeout_s,
+            keep_going=keep_going,
+            workers=n_workers,
+            initializer=_sweep_worker_init,
+            initargs=(workload, scale, l1_shapes),
+            submit_order=submit_order,
+        )
+    return runner.run(units)
 
 
 def sweep(
@@ -211,12 +310,16 @@ def sweep(
     keep_going: bool = False,
     timeout_s: Optional[float] = None,
     retries: int = 0,
+    workers: Union[None, int, str] = None,
 ) -> List[SystemPerformance]:
     """Evaluate every configuration on one workload.
 
     Simulation results and trace generation are memoised, so sweeping
     multiple related spaces (e.g. 50 ns then 200 ns off-chip) only pays
-    for the distinct cache shapes once.
+    for the distinct cache shapes once.  With ``workers`` set the
+    configurations are evaluated by a process pool instead (memoisation
+    then lives per worker, pre-warmed by the pool initializer) and the
+    returned list is identical to the serial one.
 
     Runs through the resilient engine: by default the first failing
     configuration raises (as it always did); with ``keep_going=True``
@@ -230,6 +333,7 @@ def sweep(
         keep_going=keep_going,
         timeout_s=timeout_s,
         retries=retries,
+        workers=workers,
     )
     if result.failed and not keep_going:
         result.raise_first_failure()

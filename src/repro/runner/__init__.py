@@ -2,6 +2,8 @@
 
 Every sweep and report goes through this subsystem.  See
 :mod:`repro.runner.engine` for the execution model,
+:mod:`repro.runner.pool` for the process-pool backend that fans units
+out over workers with identical guarantees and bit-identical output,
 :mod:`repro.runner.journal` for the crash-safe checkpoint format,
 :mod:`repro.runner.atomic` for torn-write-free artefact persistence,
 and :mod:`repro.runner.faults` for the deterministic fault-injection
@@ -16,9 +18,12 @@ from .engine import (
     RunUnit,
     UnitOutcome,
     error_record,
+    execute_attempts,
+    resume_outcome,
     unit_timeout,
 )
 from .journal import JOURNAL_SCHEMA, RunJournal, unit_key
+from .pool import PoolRunner, resolve_workers
 
 __all__ = [
     "atomic_open",
@@ -30,7 +35,11 @@ __all__ = [
     "RunUnit",
     "UnitOutcome",
     "error_record",
+    "execute_attempts",
+    "resume_outcome",
     "unit_timeout",
+    "PoolRunner",
+    "resolve_workers",
     "JOURNAL_SCHEMA",
     "RunJournal",
     "unit_key",

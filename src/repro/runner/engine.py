@@ -13,12 +13,17 @@ by a :class:`Runner`, which layers four protections around each unit:
   stops the run cleanly with the journal intact;
 * **retries** — transient failures are retried with exponential
   backoff under a :class:`RetryPolicy`;
-* **timeouts** — a per-unit wall-clock budget enforced with
-  ``SIGALRM`` (main thread on POSIX; a no-op elsewhere) aborts
-  pathological units with :class:`~repro.errors.UnitTimeoutError`.
+* **timeouts** — a per-unit wall-clock budget: pre-emptive
+  ``SIGALRM``/``setitimer`` on the main thread of a POSIX process, and
+  a portable post-hoc deadline check everywhere else (worker threads,
+  pool workers on platforms without ``SIGALRM``), both raising
+  :class:`~repro.errors.UnitTimeoutError`.
 
-Deterministic fault injection (:mod:`repro.runner.faults`) hooks into
-the attempt loop so all four behaviours are testable.
+The attempt loop itself (:func:`execute_attempts`) is journal-free and
+usable from any process, which is how the process-pool backend
+(:mod:`repro.runner.pool`) reuses it inside workers.  Deterministic
+fault injection (:mod:`repro.runner.faults`) hooks into the attempt
+loop so all four behaviours are testable.
 """
 
 from __future__ import annotations
@@ -41,6 +46,8 @@ __all__ = [
     "RunResult",
     "Runner",
     "error_record",
+    "execute_attempts",
+    "resume_outcome",
     "unit_timeout",
 ]
 
@@ -170,22 +177,42 @@ def error_record(unit: RunUnit, error: BaseException, attempts: int, elapsed_s: 
 
 
 @contextmanager
-def unit_timeout(seconds: Optional[float]) -> Iterator[None]:
+def unit_timeout(
+    seconds: Optional[float], *, force_deadline: bool = False
+) -> Iterator[None]:
     """Raise :class:`UnitTimeoutError` after ``seconds`` of wall clock.
 
-    Uses ``SIGALRM``/``setitimer``, so it only arms on the main thread
-    of a POSIX process; elsewhere (or with ``seconds`` None/0) it is a
-    no-op rather than an error, keeping the engine usable in worker
-    threads at the cost of timeout enforcement there.
+    Two enforcement mechanisms, picked automatically:
+
+    * **pre-emptive** — ``SIGALRM``/``setitimer`` interrupts the unit
+      mid-flight; only available on the main thread of a POSIX process
+      (signals cannot be delivered to other threads);
+    * **deadline** — everywhere else (worker threads, processes without
+      ``SIGALRM``, or ``force_deadline=True``) the unit runs to
+      completion and the budget is checked afterwards: an overrunning
+      unit still fails with :class:`UnitTimeoutError` and its result is
+      discarded, it just cannot be aborted mid-run.
+
+    Either way the budget is *enforced* — the historical behaviour of
+    silently skipping enforcement off the main thread is gone.  With
+    ``seconds`` None/0 the context is a no-op.
     """
-    usable = (
-        seconds is not None
-        and seconds > 0
+    if seconds is None or seconds <= 0:
+        yield
+        return
+    preemptive = (
+        not force_deadline
         and hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     )
-    if not usable:
+    if not preemptive:
+        started = time.monotonic()
         yield
+        if time.monotonic() - started > seconds:
+            raise UnitTimeoutError(
+                f"unit exceeded its {seconds:g}s wall-clock budget "
+                f"(detected at the deadline check)"
+            )
         return
 
     def _alarm(signum, frame):
@@ -198,6 +225,73 @@ def unit_timeout(seconds: Optional[float]) -> Iterator[None]:
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+
+
+def execute_attempts(
+    unit: RunUnit,
+    retry: Optional[RetryPolicy] = None,
+    timeout_s: Optional[float] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    force_deadline: bool = False,
+) -> UnitOutcome:
+    """Run one unit's full attempt loop; never touches a journal.
+
+    This is the engine's core shared by the serial :class:`Runner` and
+    the process-pool workers (:mod:`repro.runner.pool`): bounded
+    retries with backoff for transient failures, per-attempt timeout
+    enforcement (timeouts are never retried), and the fault-injection
+    hook before every attempt.  Unit failures come back as a ``failed``
+    :class:`UnitOutcome`; ``BaseException`` (KeyboardInterrupt,
+    injected crashes) propagates.
+    """
+    retry = retry if retry is not None else RetryPolicy()
+    started = time.monotonic()
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            with unit_timeout(timeout_s, force_deadline=force_deadline):
+                faults.before_unit(unit.unit_id)
+                value = unit.run()
+        except Exception as error:
+            elapsed = time.monotonic() - started
+            transient = not isinstance(error, UnitTimeoutError)
+            if transient and attempts < retry.max_attempts:
+                sleep(retry.delay(attempts))
+                continue
+            record = error_record(unit, error, attempts, elapsed)
+            return UnitOutcome(
+                unit.unit_id,
+                "failed",
+                attempts=attempts,
+                elapsed_s=elapsed,
+                error=record,
+                exception=error,
+            )
+        elapsed = time.monotonic() - started
+        return UnitOutcome(
+            unit.unit_id, "ok", value=value, attempts=attempts, elapsed_s=elapsed
+        )
+
+
+def resume_outcome(journal: Optional[RunJournal], unit: RunUnit) -> Optional[UnitOutcome]:
+    """The ``skipped`` outcome for a journalled-complete unit, else None.
+
+    A unit is skippable when the journal's latest entry for it is OK
+    under the same configuration key and its ``check_skip`` validation
+    (if any) still passes; the outcome's value is rebuilt through
+    ``from_record`` when the journal stored one.
+    """
+    if journal is None or not journal.completed(unit.unit_id, unit.key):
+        return None
+    if unit.check_skip is not None and not unit.check_skip():
+        return None
+    value = None
+    entry = journal.entry(unit.unit_id)
+    stored = entry.get("result") if entry else None
+    if unit.from_record is not None and stored is not None:
+        value = unit.from_record(stored)
+    return UnitOutcome(unit.unit_id, "skipped", value=value)
 
 
 class Runner:
@@ -234,65 +328,37 @@ class Runner:
         return RunResult(tuple(outcomes))
 
     def _resume_outcome(self, unit: RunUnit) -> Optional[UnitOutcome]:
-        if self.journal is None or not self.journal.completed(unit.unit_id, unit.key):
-            return None
-        if unit.check_skip is not None and not unit.check_skip():
-            return None
-        value = None
-        entry = self.journal.entry(unit.unit_id)
-        stored = entry.get("result") if entry else None
-        if unit.from_record is not None and stored is not None:
-            value = unit.from_record(stored)
-        return UnitOutcome(unit.unit_id, "skipped", value=value)
+        return resume_outcome(self.journal, unit)
 
     def _run_unit(self, unit: RunUnit) -> UnitOutcome:
         skipped = self._resume_outcome(unit)
         if skipped is not None:
             return skipped
-        key = unit.key
-        started = time.monotonic()
-        attempts = 0
-        while True:
-            attempts += 1
-            try:
-                with unit_timeout(self.timeout_s):
-                    faults.before_unit(unit.unit_id)
-                    value = unit.run()
-            except Exception as error:
-                elapsed = time.monotonic() - started
-                transient = not isinstance(error, UnitTimeoutError)
-                if transient and attempts < self.retry.max_attempts:
-                    self._sleep(self.retry.delay(attempts))
-                    continue
-                record = error_record(unit, error, attempts, elapsed)
-                if self.journal is not None:
-                    self.journal.record(
-                        unit.unit_id,
-                        key,
-                        "failed",
-                        attempts=attempts,
-                        elapsed_s=elapsed,
-                        error=record,
-                    )
-                return UnitOutcome(
-                    unit.unit_id,
-                    "failed",
-                    attempts=attempts,
-                    elapsed_s=elapsed,
-                    error=record,
-                    exception=error,
+        outcome = execute_attempts(
+            unit, retry=self.retry, timeout_s=self.timeout_s, sleep=self._sleep
+        )
+        if self.journal is not None:
+            if outcome.status == "ok":
+                stored = (
+                    unit.to_record(outcome.value)
+                    if unit.to_record is not None
+                    else None
                 )
-            elapsed = time.monotonic() - started
-            if self.journal is not None:
-                stored = unit.to_record(value) if unit.to_record is not None else None
                 self.journal.record(
                     unit.unit_id,
-                    key,
+                    unit.key,
                     "ok",
-                    attempts=attempts,
-                    elapsed_s=elapsed,
+                    attempts=outcome.attempts,
+                    elapsed_s=outcome.elapsed_s,
                     result=stored,
                 )
-            return UnitOutcome(
-                unit.unit_id, "ok", value=value, attempts=attempts, elapsed_s=elapsed
-            )
+            else:
+                self.journal.record(
+                    unit.unit_id,
+                    unit.key,
+                    "failed",
+                    attempts=outcome.attempts,
+                    elapsed_s=outcome.elapsed_s,
+                    error=outcome.error,
+                )
+        return outcome

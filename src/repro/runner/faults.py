@@ -15,6 +15,11 @@ Specification grammar (comma-separated, e.g.
     crash=<unit>             raise InjectedCrash before <unit> (simulated kill)
     delay=<unit>[:<seconds>] sleep before running <unit>
     corrupt=<unit>           truncate <unit>'s written artefact (torn write)
+
+Unit ids may themselves contain colons (sweep units look like
+``0007:8:64``): the optional argument is split off at the *last* colon,
+so a colon-bearing unit id must spell the argument out explicitly
+(``fail=0007:8:64:2``).
 """
 
 from __future__ import annotations
@@ -83,16 +88,20 @@ def parse_plan(spec: str) -> FaultPlan:
         key, sep, value = part.partition("=")
         if not sep or not value:
             raise RunnerError(f"bad fault spec {part!r}: expected kind=unit[:arg]")
-        unit, _, arg = value.partition(":")
+        # The numeric argument sits after the *last* colon; unit ids may
+        # contain colons of their own.  Argless kinds take the whole
+        # value as the unit id.
+        head, sep, tail = value.rpartition(":")
+        unit, arg = (head, tail) if sep else (value, "")
         try:
             if key == "fail":
                 plan = replace(plan, fail_unit=unit, fail_times=int(arg) if arg else 1)
             elif key == "crash":
-                plan = replace(plan, crash_unit=unit)
+                plan = replace(plan, crash_unit=value)
             elif key == "delay":
                 plan = replace(plan, delay_unit=unit, delay_s=float(arg) if arg else 1.0)
             elif key == "corrupt":
-                plan = replace(plan, corrupt_unit=unit)
+                plan = replace(plan, corrupt_unit=value)
             else:
                 raise RunnerError(
                     f"unknown fault kind {key!r}; expected fail/crash/delay/corrupt"

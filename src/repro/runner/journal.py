@@ -20,7 +20,7 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..errors import CheckpointError
 from .atomic import write_text_atomic
@@ -48,6 +48,10 @@ class RunJournal:
         self.path = Path(path)
         self._entries: List[dict] = []
         self._latest: Dict[str, dict] = {}
+        # Entries replayed from disk on open(resume=True); everything
+        # past this index was recorded by the current run and may be
+        # canonically reordered (see rewrite_ordered).
+        self._n_loaded = 0
 
     @classmethod
     def open(cls, path: Union[str, Path], resume: bool = False) -> "RunJournal":
@@ -94,6 +98,7 @@ class RunJournal:
                 raise CheckpointError(f"{self.path}:{number}: malformed journal entry")
             self._entries.append(entry)
             self._latest[entry["unit"]] = entry
+        self._n_loaded = len(self._entries)
 
     def _flush(self) -> None:
         lines = [json.dumps({"journal": JOURNAL_SCHEMA})]
@@ -127,6 +132,24 @@ class RunJournal:
         self._latest[unit_id] = entry
         self._flush()
         return entry
+
+    def rewrite_ordered(self, unit_order: Sequence[str]) -> None:
+        """Canonically reorder this run's entries and rewrite atomically.
+
+        A parallel run journals outcomes as they *arrive* (crash-safe:
+        a killed run resumes from whatever made it to disk), so entry
+        order depends on worker scheduling.  Called on successful
+        completion with the unit submission order, this stably reorders
+        the entries appended by the current run — entries replayed from
+        a resumed journal keep their position, exactly like the serial
+        engine's append order — making the finished journal's contents
+        independent of worker count and completion order.
+        """
+        position = {unit_id: index for index, unit_id in enumerate(unit_order)}
+        tail = self._entries[self._n_loaded :]
+        tail.sort(key=lambda entry: position.get(entry["unit"], len(position)))
+        self._entries[self._n_loaded :] = tail
+        self._flush()
 
     def entry(self, unit_id: str) -> Optional[dict]:
         """The most recent entry for ``unit_id`` (or ``None``)."""

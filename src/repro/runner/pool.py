@@ -1,0 +1,358 @@
+"""Process-pool execution backend: fan units out over worker processes.
+
+:class:`PoolRunner` is the parallel counterpart of the serial
+:class:`~repro.runner.engine.Runner` and preserves every protection it
+offers — with the work distributed over a
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+* **resume** — journal replay and ``check_skip`` artefact validation
+  run in the parent *before* any work is submitted, so completed units
+  never reach a worker;
+* **isolation / retries / timeouts** — each worker runs the shared
+  attempt loop (:func:`~repro.runner.engine.execute_attempts`), so a
+  unit's bounded retries with backoff and its per-attempt wall-clock
+  budget behave exactly as in the serial engine.  Timeouts in workers
+  use the same two-tier enforcement: pre-emptive ``SIGALRM`` where the
+  task runs on the worker's main thread (the normal case), a portable
+  post-hoc deadline check otherwise;
+* **crash-safe journaling** — outcomes are journalled by the *parent*
+  as they arrive (workers never touch the journal, so there is no
+  cross-process write contention), each append persisting atomically.
+  A killed parallel run therefore resumes from exactly the units whose
+  outcomes made it back; on successful completion the journal is
+  canonically reordered (:meth:`~repro.runner.journal.RunJournal.rewrite_ordered`)
+  so its final contents are independent of worker count and completion
+  order;
+* **determinism** — unit outcomes are keyed by unit id / configuration
+  hash and the returned :class:`~repro.runner.engine.RunResult` is
+  assembled in unit submission order, never arrival order.  Downstream
+  artefacts (report rows, sweep tables, envelopes, failure manifests)
+  are thus bit-identical to a serial run; the only volatile journal
+  fields are the wall-clock ``elapsed_s`` measurements.
+
+Worker-side fault injection (:mod:`repro.runner.faults`) works through
+the ``REPRO_FAULTS`` environment variable (inherited by workers under
+every start method) or, under ``fork``, through a plan installed before
+the pool is created.  An injected crash (``BaseException``) in a worker
+terminates the whole parallel run — mirroring the serial engine — with
+the journal intact.
+
+Pickling contract: a unit shipped to a worker carries its ``run`` and
+``to_record`` callables, which must therefore be picklable (module-level
+functions or instances of module-level classes — not closures).
+``check_skip`` and ``from_record`` stay parent-side and may be
+closures, exactly as before.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import RunnerError
+from .engine import (
+    RetryPolicy,
+    RunResult,
+    RunUnit,
+    UnitOutcome,
+    error_record,
+    execute_attempts,
+    resume_outcome,
+)
+from .journal import RunJournal
+
+__all__ = ["PoolRunner", "resolve_workers"]
+
+
+def resolve_workers(spec: Union[None, int, str]) -> Optional[int]:
+    """Normalise a ``--workers`` value: None for serial, else a count.
+
+    ``None``/``0``/``"serial"`` select the serial engine; ``"auto"``
+    means one worker per CPU; any other value must be a positive
+    integer (1 runs the pool machinery with a single worker, which is
+    occasionally useful for debugging the parallel path).
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        text = spec.strip().lower()
+        if text in ("", "0", "serial"):
+            return None
+        if text == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            count = int(text)
+        except ValueError:
+            raise RunnerError(
+                f"workers must be a non-negative integer or 'auto', got {spec!r}"
+            ) from None
+    else:
+        count = int(spec)
+    if count < 0:
+        raise RunnerError(f"workers must be a non-negative integer, got {count}")
+    return count or None
+
+
+@dataclass(frozen=True)
+class _WorkerTask:
+    """The picklable slice of a unit shipped to a worker process."""
+
+    unit_id: str
+    payload: dict
+    run: Callable[[], Any] = field(repr=False)
+    to_record: Optional[Callable[[Any], dict]] = field(default=None, repr=False)
+    retry: RetryPolicy = RetryPolicy()
+    timeout_s: Optional[float] = None
+
+
+def _execute_task(task: _WorkerTask) -> dict:
+    """Worker entry point: run the attempt loop, return a picklable reply.
+
+    ``BaseException`` (injected crashes, interrupts) propagates out and
+    surfaces on the future — the parent treats it like a process kill.
+    """
+    unit = RunUnit(
+        unit_id=task.unit_id,
+        payload=task.payload,
+        run=task.run,
+        to_record=task.to_record,
+    )
+    outcome = execute_attempts(unit, retry=task.retry, timeout_s=task.timeout_s)
+    reply: Dict[str, Any] = {
+        "status": outcome.status,
+        "attempts": outcome.attempts,
+        "elapsed_s": outcome.elapsed_s,
+        "error": outcome.error,
+        "result": None,
+        "value": None,
+        "has_value": False,
+        "exception": None,
+    }
+    if outcome.status == "ok":
+        if task.to_record is not None:
+            reply["result"] = task.to_record(outcome.value)
+        try:
+            pickle.dumps(outcome.value)
+        except Exception:
+            pass  # parent falls back to from_record(result), or None
+        else:
+            reply["value"] = outcome.value
+            reply["has_value"] = True
+    elif outcome.exception is not None:
+        try:
+            pickle.dumps(outcome.exception)
+        except Exception:
+            pass  # error record still describes the failure
+        else:
+            reply["exception"] = outcome.exception
+    return reply
+
+
+class PoolRunner:
+    """Drive :class:`RunUnit` sequences over a process pool.
+
+    Mirrors the serial :class:`~repro.runner.engine.Runner` contract:
+    ``run`` returns a :class:`RunResult` in unit submission order and
+    never raises for unit failures; ``BaseException`` from a worker
+    (an injected crash) propagates with the journal intact.  With
+    ``keep_going=False`` the first failure (in submission order)
+    truncates the result exactly like the serial engine; units already
+    finished by other workers remain journalled so a later ``resume``
+    does not repeat them.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (see :func:`resolve_workers`).
+    initializer / initargs:
+        Forwarded to the executor; use them to pre-warm per-worker
+        caches (e.g. trace generation and L1 filter passes) once per
+        worker instead of once per unit.
+    submit_order:
+        Optional permutation of unit indices controlling *submission*
+        order.  Results are always assembled in unit order, so any
+        permutation must produce identical output — the differential
+        tests shuffle this to prove order independence.
+    mp_context:
+        Optional :mod:`multiprocessing` context (e.g. the ``fork``
+        context when workers must inherit parent state).
+    """
+
+    def __init__(
+        self,
+        journal: Optional[RunJournal] = None,
+        retry: Optional[RetryPolicy] = None,
+        timeout_s: Optional[float] = None,
+        keep_going: bool = False,
+        workers: int = 2,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+        submit_order: Optional[Sequence[int]] = None,
+        mp_context: Any = None,
+    ):
+        if workers < 1:
+            raise RunnerError(f"PoolRunner needs at least one worker, got {workers}")
+        self.journal = journal
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.timeout_s = timeout_s
+        self.keep_going = keep_going
+        self.workers = workers
+        self.initializer = initializer
+        self.initargs = initargs
+        self.submit_order = submit_order
+        self.mp_context = mp_context
+
+    def run(self, units: Sequence[RunUnit]) -> RunResult:
+        units = list(units)
+        unit_ids = [unit.unit_id for unit in units]
+        if len(set(unit_ids)) != len(unit_ids):
+            raise RunnerError("duplicate unit ids in one parallel run")
+        outcomes: Dict[str, UnitOutcome] = {}
+        pending: List[RunUnit] = []
+        for unit in units:
+            skipped = resume_outcome(self.journal, unit)
+            if skipped is not None:
+                outcomes[unit.unit_id] = skipped
+            else:
+                pending.append(unit)
+        if pending:
+            self._run_pool(pending, outcomes)
+        if self.journal is not None:
+            self.journal.rewrite_ordered(unit_ids)
+        ordered: List[UnitOutcome] = []
+        for unit in units:
+            outcome = outcomes.get(unit.unit_id)
+            if outcome is None:
+                continue  # cancelled before it started
+            ordered.append(outcome)
+            if outcome.status == "failed" and not self.keep_going:
+                break
+        return RunResult(tuple(ordered))
+
+    def _submission(self, pending: Sequence[RunUnit]) -> List[RunUnit]:
+        if self.submit_order is None:
+            return list(pending)
+        if sorted(self.submit_order) != list(range(len(pending))):
+            raise RunnerError(
+                f"submit_order must be a permutation of range({len(pending)})"
+            )
+        return [pending[index] for index in self.submit_order]
+
+    def _run_pool(
+        self, pending: Sequence[RunUnit], outcomes: Dict[str, UnitOutcome]
+    ) -> None:
+        executor = ProcessPoolExecutor(
+            max_workers=min(self.workers, len(pending)),
+            mp_context=self.mp_context,
+            initializer=self.initializer,
+            initargs=self.initargs,
+        )
+        try:
+            futures = {
+                executor.submit(
+                    _execute_task,
+                    _WorkerTask(
+                        unit_id=unit.unit_id,
+                        payload=unit.payload,
+                        run=unit.run,
+                        to_record=unit.to_record,
+                        retry=self.retry,
+                        timeout_s=self.timeout_s,
+                    ),
+                ): unit
+                for unit in self._submission(pending)
+            }
+            submitted = {future: index for index, future in enumerate(futures)}
+            stopping = False
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                # A done *batch* is processed in submission order: when a
+                # crash arrives together with results, everything that
+                # finished before the crashing unit is journalled first,
+                # so the journal a killed run leaves behind is
+                # deterministic, not subject to set iteration order.
+                for future in sorted(done, key=submitted.__getitem__):
+                    if future.cancelled():
+                        continue
+                    unit = futures[future]
+                    crash = future.exception()
+                    if crash is not None:
+                        if isinstance(crash, BrokenProcessPool):
+                            raise RunnerError(
+                                "worker pool broke (a worker died without "
+                                "reporting); completed units are journalled — "
+                                "re-run with --resume"
+                            ) from crash
+                        if not isinstance(crash, Exception):
+                            # A simulated (or real) kill: abandon
+                            # everything in flight, journal untouched
+                            # beyond what already arrived.
+                            raise crash
+                        # Infrastructure failure around one unit (e.g.
+                        # an unpicklable reply): a structured failure.
+                        outcome = UnitOutcome(
+                            unit.unit_id,
+                            "failed",
+                            attempts=1,
+                            error=error_record(unit, crash, 1, 0.0),
+                            exception=crash,
+                        )
+                        stored = None
+                    else:
+                        reply = future.result()
+                        outcome = self._outcome_from_reply(unit, reply)
+                        stored = reply["result"]
+                    outcomes[unit.unit_id] = outcome
+                    self._journal_outcome(unit, outcome, stored)
+                    if outcome.status == "failed" and not self.keep_going and not stopping:
+                        stopping = True
+                        for other in not_done:
+                            other.cancel()
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def _outcome_from_reply(self, unit: RunUnit, reply: dict) -> UnitOutcome:
+        value = None
+        if reply["status"] == "ok":
+            if reply["has_value"]:
+                value = reply["value"]
+            elif unit.from_record is not None and reply["result"] is not None:
+                value = unit.from_record(reply["result"])
+        return UnitOutcome(
+            unit.unit_id,
+            reply["status"],
+            value=value,
+            attempts=reply["attempts"],
+            elapsed_s=reply["elapsed_s"],
+            error=reply["error"],
+            exception=reply["exception"],
+        )
+
+    def _journal_outcome(
+        self, unit: RunUnit, outcome: UnitOutcome, stored: Optional[dict]
+    ) -> None:
+        if self.journal is None:
+            return
+        if outcome.status == "ok":
+            self.journal.record(
+                unit.unit_id,
+                unit.key,
+                "ok",
+                attempts=outcome.attempts,
+                elapsed_s=outcome.elapsed_s,
+                result=stored,
+            )
+        else:
+            self.journal.record(
+                unit.unit_id,
+                unit.key,
+                "failed",
+                attempts=outcome.attempts,
+                elapsed_s=outcome.elapsed_s,
+                error=outcome.error,
+            )

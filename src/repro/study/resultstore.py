@@ -18,11 +18,20 @@ written atomically (no half-written JSON after a crash).
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
 from ..errors import ExperimentError, ReproError
-from ..runner import RetryPolicy, RunJournal, Runner, RunUnit, write_text_atomic
+from ..runner import (
+    PoolRunner,
+    RetryPolicy,
+    RunJournal,
+    Runner,
+    RunUnit,
+    resolve_workers,
+    write_text_atomic,
+)
 from ..runner import faults
 from .registry import Experiment, ExperimentResult, Series, experiment_ids, get_experiment
 
@@ -139,20 +148,36 @@ def _artifact_valid(out: Path, experiment_id: str) -> bool:
     return True
 
 
+@dataclass(frozen=True)
+class _ReportRun:
+    """Picklable body of one report unit: run one exhibit, write artefacts.
+
+    The experiment is looked up by id at call time — importing
+    :mod:`repro.study` (which unpickling this class triggers) populates
+    the registry, so pool workers resolve the same experiment the
+    parent validated up front.
+    """
+
+    out_dir: str
+    experiment_id: str
+    scale: Optional[float]
+
+    def __call__(self) -> str:
+        experiment = get_experiment(self.experiment_id)
+        result = experiment.run(scale=self.scale)
+        out = Path(self.out_dir)
+        json_path = out / f"{self.experiment_id}.json"
+        save_result(result, json_path)
+        write_text_atomic(out / f"{self.experiment_id}.txt", result.render() + "\n")
+        # Test hook: emulates a torn write that bypassed atomic rename.
+        faults.maybe_corrupt_file(self.experiment_id, json_path)
+        return self.experiment_id
+
+
 def _report_unit(
     out: Path, experiment: Experiment, scale: Optional[float]
 ) -> RunUnit:
     experiment_id = experiment.experiment_id
-
-    def run() -> str:
-        result = experiment.run(scale=scale)
-        json_path = out / f"{experiment_id}.json"
-        save_result(result, json_path)
-        write_text_atomic(out / f"{experiment_id}.txt", result.render() + "\n")
-        # Test hook: emulates a torn write that bypassed atomic rename.
-        faults.maybe_corrupt_file(experiment_id, json_path)
-        return experiment_id
-
     return RunUnit(
         unit_id=experiment_id,
         payload={
@@ -160,7 +185,7 @@ def _report_unit(
             "scale": scale,
             "schema": SCHEMA_VERSION,
         },
-        run=run,
+        run=_ReportRun(str(out), experiment_id, scale),
         check_skip=lambda: _artifact_valid(out, experiment_id),
     )
 
@@ -174,6 +199,7 @@ def write_report(
     keep_going: bool = False,
     timeout_s: Optional[float] = None,
     retries: int = 0,
+    workers: "Union[None, int, str]" = None,
 ) -> List[str]:
     """Run experiments and write ``<id>.json`` / ``<id>.txt`` + an index.
 
@@ -196,11 +222,17 @@ def write_report(
         but the journal and manifest still record everything done so
         far, so a later ``resume`` run picks up where this one stopped.
     timeout_s:
-        Per-experiment wall-clock budget (SIGALRM-based; main thread
-        only).
+        Per-experiment wall-clock budget (pre-emptive ``SIGALRM`` on a
+        POSIX main thread — including pool workers — with a portable
+        post-hoc deadline check everywhere else).
     retries:
         Extra attempts per experiment for transient failures, with
         exponential backoff (timeouts are not retried).
+    workers:
+        ``None`` (default) runs experiments serially; an integer or
+        ``"auto"`` runs them in that many worker processes with the
+        same journal, isolation, retry, and timeout semantics — and
+        byte-identical artefacts (``elapsed_s`` in the journal aside).
 
     Returns
     -------
@@ -215,12 +247,22 @@ def write_report(
     # artefact or journal is touched.
     experiments = [get_experiment(experiment_id) for experiment_id in chosen]
     journal = RunJournal.open(out / JOURNAL_NAME, resume=resume)
-    runner = Runner(
-        journal=journal,
-        retry=RetryPolicy(max_attempts=retries + 1),
-        timeout_s=timeout_s,
-        keep_going=keep_going,
-    )
+    n_workers = resolve_workers(workers)
+    if n_workers is None:
+        runner: "Union[Runner, PoolRunner]" = Runner(
+            journal=journal,
+            retry=RetryPolicy(max_attempts=retries + 1),
+            timeout_s=timeout_s,
+            keep_going=keep_going,
+        )
+    else:
+        runner = PoolRunner(
+            journal=journal,
+            retry=RetryPolicy(max_attempts=retries + 1),
+            timeout_s=timeout_s,
+            keep_going=keep_going,
+            workers=n_workers,
+        )
     run = runner.run([_report_unit(out, experiment, scale) for experiment in experiments])
 
     completed = {outcome.unit_id for outcome in run.completed}

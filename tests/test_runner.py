@@ -3,6 +3,8 @@ fault injection, and the kill-and-resume round trip through
 ``write_report`` and ``run_sweep``."""
 
 import json
+import threading
+import time
 
 import pytest
 
@@ -20,7 +22,9 @@ from repro.runner import (
     Runner,
     RunUnit,
     atomic_open,
+    execute_attempts,
     unit_key,
+    unit_timeout,
     write_text_atomic,
 )
 from repro.runner import faults
@@ -251,6 +255,60 @@ class TestTimeout:
         assert result.outcomes[0].attempts == 1
 
 
+class TestTimeoutPortability:
+    """The budget is enforced by *both* mechanisms: pre-emptive SIGALRM
+    on a POSIX main thread, and the post-hoc deadline check everywhere
+    else (worker threads, pool workers without SIGALRM).  Historically
+    the context silently skipped enforcement off the main thread."""
+
+    def test_deadline_path_raises_after_completion(self):
+        with pytest.raises(UnitTimeoutError, match="deadline check"):
+            with unit_timeout(0.05, force_deadline=True):
+                time.sleep(0.12)
+
+    def test_deadline_path_passes_within_budget(self):
+        with unit_timeout(5.0, force_deadline=True):
+            pass
+
+    def test_preemptive_path_aborts_midflight(self):
+        started = time.monotonic()
+        with pytest.raises(UnitTimeoutError):
+            with unit_timeout(0.1):
+                time.sleep(5.0)
+        assert time.monotonic() - started < 2.0
+
+    def test_runner_enforces_timeout_off_main_thread(self):
+        """A Runner driven from a worker thread (no SIGALRM there) must
+        still fail an overrunning unit via the deadline fallback."""
+        box = {}
+
+        def drive():
+            runner = Runner(timeout_s=0.05, keep_going=True)
+            box["result"] = runner.run(
+                [make_unit("slow", fn=lambda: time.sleep(0.15))]
+            )
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        (outcome,) = box["result"].outcomes
+        assert outcome.status == "failed"
+        assert outcome.error["type"] == "UnitTimeoutError"
+
+    def test_execute_attempts_deadline_not_retried(self):
+        outcome = execute_attempts(
+            make_unit("slow", fn=lambda: time.sleep(0.12)),
+            retry=RetryPolicy(max_attempts=3, backoff_s=0),
+            timeout_s=0.05,
+            sleep=lambda _: None,
+            force_deadline=True,
+        )
+        assert outcome.status == "failed"
+        assert outcome.attempts == 1
+        assert outcome.error["type"] == "UnitTimeoutError"
+
+
 class TestFaultPlans:
     def test_parse_full_spec(self):
         plan = faults.parse_plan("fail=fig5:2,crash=fig7,delay=fig3:0.5,corrupt=fig9")
@@ -264,6 +322,13 @@ class TestFaultPlans:
             faults.parse_plan("explode=fig5")
         with pytest.raises(RunnerError):
             faults.parse_plan("fail=fig5:lots")
+
+    def test_colon_bearing_unit_ids(self):
+        """Sweep unit ids contain colons; the arg splits off the last one."""
+        plan = faults.parse_plan("fail=0007:8:64:2,crash=0001:1:0,delay=0002:2:4:0.5")
+        assert plan.fail_unit == "0007:8:64" and plan.fail_times == 2
+        assert plan.crash_unit == "0001:1:0"
+        assert plan.delay_unit == "0002:2:4" and plan.delay_s == 0.5
 
     def test_env_var_plan(self, monkeypatch):
         monkeypatch.setenv(faults.ENV_VAR, "fail=u:1")
