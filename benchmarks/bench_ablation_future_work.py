@@ -11,6 +11,7 @@ from repro.core.config import SystemConfig
 from repro.core.evaluate import evaluate
 from repro.ext.multicycle import evaluate_multicycle
 from repro.ext.nonblocking import evaluate_non_blocking
+from repro.runner import write_text_atomic
 from repro.study.report import render_table
 from repro.units import kb
 
@@ -37,7 +38,7 @@ def test_conjecture1_multicycle_l1(benchmark, bench_scale, output_dir):
     text = render_table(
         ("workload", "baseline 2-level gain", "multicycle 2-level gain"), rows
     )
-    (output_dir / "ablation_multicycle.txt").write_text(text + "\n")
+    write_text_atomic(output_dir / "ablation_multicycle.txt", text + "\n")
     print("\n" + text)
     # The conjecture: the two-level gain shrinks under multicycle L1s.
     for _, base_gain, multi_gain in rows:
@@ -64,7 +65,7 @@ def test_conjecture2_non_blocking_loads(benchmark, bench_scale, output_dir):
     text = render_table(
         ("overlap", "single 2:0 tpi", "two-level 2:32 tpi", "2-level gain"), rows
     )
-    (output_dir / "ablation_nonblocking.txt").write_text(text + "\n")
+    write_text_atomic(output_dir / "ablation_nonblocking.txt", text + "\n")
     print("\n" + text)
     # Two-level stays preferable at every overlap level.
     for _, _, _, gain in rows:

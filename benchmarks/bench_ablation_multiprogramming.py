@@ -6,6 +6,7 @@ allocation argument of the paper's introduction, under pressure.
 """
 
 from repro.ext.multiprogramming import multiprogramming_study
+from repro.runner import write_text_atomic
 from repro.study.report import render_table
 from repro.units import kb
 
@@ -41,7 +42,7 @@ def test_multiprogramming_interference(benchmark, bench_scale, output_dir):
         ("quantum", "config", "solo_offchip_mr", "mixed_offchip_mr", "inflation"),
         rows,
     )
-    (output_dir / "ablation_multiprogramming.txt").write_text(text + "\n")
+    write_text_atomic(output_dir / "ablation_multiprogramming.txt", text + "\n")
     print("\n" + text)
     by_key = {(q, c): infl for q, c, _, _, infl in rows}
     # Finer quanta interfere at least as much as coarse ones.

@@ -9,6 +9,7 @@ doubles down on it.
 
 from repro.cache.hierarchy import Policy, simulate_hierarchy
 from repro.ext.inclusion import simulate_strict_inclusion
+from repro.runner import write_text_atomic
 from repro.study.report import render_table
 from repro.traces.store import get_trace
 from repro.units import kb
@@ -54,7 +55,7 @@ def test_ablation_inclusion_policies(benchmark, bench_scale, output_dir):
         ),
         rows,
     )
-    (output_dir / "ablation_policies.txt").write_text(text + "\n")
+    write_text_atomic(output_dir / "ablation_policies.txt", text + "\n")
     print("\n" + text)
     for _, strict_l1, base_l1, strict_off, base_off, excl_off in rows:
         # Back-invalidation can only add L1 misses; exclusion can only

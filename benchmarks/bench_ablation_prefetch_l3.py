@@ -15,6 +15,7 @@ from repro.core.evaluate import evaluate
 from repro.ext.banking import evaluate_banked
 from repro.ext.l3 import evaluate_with_board_cache
 from repro.ext.stream_buffer import simulate_stream_buffer
+from repro.runner import write_text_atomic
 from repro.study.report import render_table
 from repro.units import kb
 
@@ -41,7 +42,7 @@ def test_stream_buffers_per_workload(benchmark, bench_scale, output_dir):
     text = render_table(
         ("workload", "I_misses", "buffer_hits", "I_hit_rate", "mr_below"), rows
     )
-    (output_dir / "ablation_stream_buffers.txt").write_text(text + "\n")
+    write_text_atomic(output_dir / "ablation_stream_buffers.txt", text + "\n")
     print("\n" + text)
     by_wl = {r[0]: r[3] for r in rows}
     # Sequential code (fpppp) gains most; branchy tables (eqntott) least.
@@ -72,7 +73,7 @@ def test_board_cache_vs_constant_offchip(benchmark, bench_scale, output_dir):
     text = render_table(
         ("L3", "l3_local_mr", "eff_offchip_ns", "tpi_ns", "50ns-model tpi"), rows
     )
-    (output_dir / "ablation_board_cache.txt").write_text(text + "\n")
+    write_text_atomic(output_dir / "ablation_board_cache.txt", text + "\n")
     print("\n" + text)
     tpis = [r[3] for r in rows]
     assert tpis == sorted(tpis, reverse=True)  # bigger L3 never hurts
@@ -94,7 +95,7 @@ def test_banked_vs_dual_ported(benchmark, bench_scale, output_dir):
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     text = render_table(("organisation", "tpi_ns", "area_rbe"), rows)
-    (output_dir / "ablation_banking.txt").write_text(text + "\n")
+    write_text_atomic(output_dir / "ablation_banking.txt", text + "\n")
     print("\n" + text)
     by_name = {r[0]: r for r in rows}
     # Banking sits between single-issue and dual-ported on both axes.

@@ -6,6 +6,7 @@ that choice costs against LRU across L2 sizes.
 """
 
 from repro.cache.hierarchy import simulate_hierarchy
+from repro.runner import write_text_atomic
 from repro.study.report import render_table
 from repro.traces.store import get_trace
 from repro.units import kb
@@ -38,7 +39,7 @@ def test_ablation_l2_replacement(benchmark, bench_scale, output_dir):
     text = render_table(
         ("config", "lfsr_l2_miss_rate", "lru_l2_miss_rate", "random_penalty_%"), rows
     )
-    (output_dir / "ablation_replacement.txt").write_text(text + "\n")
+    write_text_atomic(output_dir / "ablation_replacement.txt", text + "\n")
     print("\n" + text)
     # Random replacement never beats LRU here, and the penalty is
     # bounded (the usual <30% band for 4-way caches).

@@ -6,6 +6,7 @@ the paper's very long traces.
 """
 
 from repro.core.config import SystemConfig
+from repro.runner import write_text_atomic
 from repro.study.report import render_table
 from repro.study.sensitivity import (
     line_size_sensitivity,
@@ -26,7 +27,7 @@ def test_off_chip_latency_sweep(benchmark, bench_scale, output_dir):
 
     series = benchmark.pedantic(run, rounds=1, iterations=1)
     text = render_table(series.columns, series.rows)
-    (output_dir / "sensitivity_offchip.txt").write_text(text + "\n")
+    write_text_atomic(output_dir / "sensitivity_offchip.txt", text + "\n")
     print("\n" + text)
     # The two-level advantage at the big budget grows with latency.
     big = [r for r in series.rows if r[1] == 2e6]
@@ -44,7 +45,7 @@ def test_line_size_sweep(benchmark, bench_scale, output_dir):
 
     series = benchmark.pedantic(run, rounds=1, iterations=1)
     text = render_table(series.columns, series.rows)
-    (output_dir / "sensitivity_line_size.txt").write_text(text + "\n")
+    write_text_atomic(output_dir / "sensitivity_line_size.txt", text + "\n")
     print("\n" + text)
     rates = series.column("l1_miss_rate")
     assert rates == sorted(rates, reverse=True)  # spatial prefetch helps
@@ -58,7 +59,7 @@ def test_warmup_window_sweep(benchmark, bench_scale, output_dir):
 
     series = benchmark.pedantic(run, rounds=1, iterations=1)
     text = render_table(series.columns, series.rows)
-    (output_dir / "sensitivity_warmup.txt").write_text(text + "\n")
+    write_text_atomic(output_dir / "sensitivity_warmup.txt", text + "\n")
     print("\n" + text)
     rates = series.column("global_miss_rate")
     assert rates[0] >= rates[-1] - 1e-6  # cold misses only inflate

@@ -7,6 +7,7 @@ cache [4]."  This bench puts the genuine fully-associative victim cache
 
 from repro.cache.hierarchy import Policy, simulate_hierarchy
 from repro.ext.victim import simulate_victim_cache
+from repro.runner import write_text_atomic
 from repro.study.report import render_table
 from repro.traces.store import get_trace
 from repro.units import kb
@@ -38,7 +39,7 @@ def test_victim_buffer_vs_exclusive_tiny_l2(benchmark, bench_scale, output_dir):
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     text = render_table(("organisation", "extra capacity", "off-chip miss rate"), rows)
-    (output_dir / "ablation_victim.txt").write_text(text + "\n")
+    write_text_atomic(output_dir / "ablation_victim.txt", text + "\n")
     print("\n" + text)
     baseline = rows[0][2]
     for _, _, rate in rows[1:]:

@@ -9,6 +9,7 @@ into the L2.
 from repro.cache.hierarchy import Policy
 from repro.core.config import SystemConfig
 from repro.ext.writes import count_write_traffic, evaluate_with_writes
+from repro.runner import write_text_atomic
 from repro.study.report import render_table
 from repro.units import kb
 
@@ -40,7 +41,7 @@ def test_writeback_tpi_overhead(benchmark, bench_scale, output_dir):
     text = render_table(
         ("config", "paper-model tpi", "with writebacks", "overhead_%"), rows
     )
-    (output_dir / "ablation_writes_tpi.txt").write_text(text + "\n")
+    write_text_atomic(output_dir / "ablation_writes_tpi.txt", text + "\n")
     print("\n" + text)
     # The paper's abstraction is vindicated: overhead stays small.
     for _, _, _, overhead in rows:
@@ -79,7 +80,7 @@ def test_offchip_write_traffic_by_policy(benchmark, bench_scale, output_dir):
         ),
         rows,
     )
-    (output_dir / "ablation_writes_traffic.txt").write_text(text + "\n")
+    write_text_atomic(output_dir / "ablation_writes_traffic.txt", text + "\n")
     print("\n" + text)
     for _, _, _, _, excl_direct in rows:
         # Exclusion writes every victim into the L2: nothing bypasses it.

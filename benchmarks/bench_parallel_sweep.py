@@ -21,6 +21,7 @@ import os
 import time
 
 from repro.core.evaluate import _cached_stats
+from repro.runner import write_text_atomic
 from repro.core.explorer import as_point, design_space, run_sweep
 from repro.cache.hierarchy import l1_miss_stream
 from repro.traces.store import clear_trace_cache
@@ -81,8 +82,8 @@ def test_parallel_sweep_speedup(output_dir):
         "speedup": round(speedup, 3),
         "gate_applied": workers >= MIN_CPUS_FOR_GATE,
     }
-    (output_dir / "BENCH_parallel.json").write_text(
-        json.dumps(record, indent=2) + "\n"
+    write_text_atomic(
+        output_dir / "BENCH_parallel.json", json.dumps(record, indent=2) + "\n"
     )
     print()
     print(json.dumps(record, indent=2))

@@ -10,6 +10,7 @@ from repro.core.config import SystemConfig
 from repro.core.evaluate import system_area_rbe
 from repro.power.energy import optimal_access_energy
 from repro.power.system import energy_per_instruction
+from repro.runner import write_text_atomic
 from repro.study.report import render_table
 from repro.units import kb
 
@@ -23,7 +24,7 @@ def test_per_access_energy_curve(benchmark, output_dir):
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     text = render_table(("cache size", "access energy (pJ)"), rows)
-    (output_dir / "power_access_curve.txt").write_text(text + "\n")
+    write_text_atomic(output_dir / "power_access_curve.txt", text + "\n")
     print("\n" + text)
     energies = [e for _, e in rows]
     assert energies == sorted(energies)
@@ -69,7 +70,7 @@ def test_claim5_two_level_uses_less_power(benchmark, bench_scale, output_dir):
         ),
         rows,
     )
-    (output_dir / "power_claim5.txt").write_text(text + "\n")
+    write_text_atomic(output_dir / "power_claim5.txt", text + "\n")
     print("\n" + text)
     for row in rows:
         assert row[-1] > 1.0, "two-level must use less energy per instruction"

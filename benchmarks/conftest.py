@@ -19,6 +19,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.runner import write_text_atomic
 from repro.study import run_experiment
 from repro.study.registry import ExperimentResult
 
@@ -54,7 +55,7 @@ def run_exhibit(benchmark, bench_scale, output_dir):
             iterations=1,
         )
         text = result.render()
-        (output_dir / f"{experiment_id}.txt").write_text(text + "\n")
+        write_text_atomic(output_dir / f"{experiment_id}.txt", text + "\n")
         print()
         print(text)
         return result

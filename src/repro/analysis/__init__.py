@@ -1,0 +1,49 @@
+"""Static analysis: machine-checked correctness contracts (``repro lint``).
+
+The reproduction's headline guarantees — crash-safe artefacts,
+byte-identical parallel runs, a typed error contract, and the paper's
+cache-geometry discipline — rest on coding conventions that no runtime
+test can enforce exhaustively.  This package turns those conventions
+into AST-level lint rules:
+
+========  ===================  ==============================================
+rule      name                 contract
+========  ===================  ==============================================
+REP000    suppressions         inline suppressions carry a reason and
+                               actually suppress something
+REP001    atomic-writes        artefact writes route through
+                               :mod:`repro.runner.atomic`
+REP002    determinism          model code never reads wall clocks or
+                               unseeded RNGs
+REP003    error-policy         library code raises :class:`~repro.errors.ReproError`
+                               subclasses, never bare ``ValueError``/
+                               ``RuntimeError``, and never ``except:``
+REP004    pool-picklability    unit bodies handed to the process pool are
+                               module-level callables
+REP005    geometry-literals    cache-shape literals satisfy the same
+                               predicate the runtime validator enforces
+========  ===================  ==============================================
+
+Use :func:`lint_paths` programmatically or ``repro lint`` from the
+command line; see ``docs/static-analysis.md`` for the rule catalogue
+and the suppression policy (``# repro: lint-ok[RULE] reason``).
+"""
+
+from __future__ import annotations
+
+from .engine import LintReport, lint_paths, lint_source
+from .finding import Finding
+from .registry import Rule, all_rules, resolve_rules
+from .reporters import render_human, render_json
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "render_human",
+    "render_json",
+    "resolve_rules",
+]

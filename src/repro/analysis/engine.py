@@ -1,0 +1,269 @@
+"""The lint engine: file discovery, rule execution, suppression audit.
+
+Each file is one :class:`~repro.runner.engine.RunUnit`, so linting runs
+through the same machinery as sweeps and reports: serial by default,
+fanned out over a :class:`~repro.runner.pool.PoolRunner` when
+``workers`` is given.  The per-file task is a module-level dataclass —
+the engine obeys its own REP004 rule — and a checker crash in one file
+is isolated, collected, and re-raised as a single
+:class:`~repro.errors.LintError` naming every broken file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import LintError
+from ..runner.engine import Runner, RunUnit
+from ..runner.pool import PoolRunner, resolve_workers
+from .finding import FileContext, Finding
+from .registry import Rule, get_rule, resolve_rules
+from .suppress import Suppression, scan_suppressions
+
+__all__ = ["LintReport", "lint_paths", "lint_source", "discover_files"]
+
+#: Directory names never descended into during discovery.
+_SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", "output"})
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: Tuple[Finding, ...]
+    suppressed: Tuple[Finding, ...]
+    n_files: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def discover_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand the given paths into a sorted, de-duplicated file list.
+
+    Explicit files are taken as-is; directories are searched
+    recursively for ``*.py``, skipping cache/VCS/output directories.
+    A path that does not exist is an error — a typo must not silently
+    lint nothing.
+    """
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            files.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = set(candidate.parts)
+                if parts & _SKIPPED_DIRS:
+                    continue
+                files.append(candidate)
+        else:
+            raise LintError(f"lint target {path} does not exist")
+    seen: Dict[Path, None] = {}
+    for file in files:
+        seen.setdefault(file, None)
+    return list(seen)
+
+
+def lint_source(
+    source: str,
+    path: Union[str, Path] = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one source text; returns (active findings, suppressed).
+
+    The in-memory entry point the per-file unit and the tests share.
+    """
+    path = Path(path)
+    if rules is None:
+        rules = resolve_rules()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        raise LintError(f"cannot parse {path}: {error}") from error
+    ctx = FileContext(path=path, source=source, tree=tree)
+    suppressions = scan_suppressions(source)
+    active_ids = {rule.rule_id for rule in rules}
+
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.check is None:
+            continue
+        for line, col, message in rule.check(ctx):
+            raw.append(
+                Finding(
+                    rule=rule.rule_id,
+                    severity=rule.severity,
+                    path=path.as_posix(),
+                    line=line,
+                    col=col,
+                    message=message,
+                )
+            )
+
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    used: Dict[Tuple[int, int], List[str]] = {}
+    for finding in raw:
+        match = _matching_suppression(suppressions, finding)
+        if match is not None and match.reason:
+            suppressed.append(finding.suppress(match.reason))
+            used.setdefault((match.line, match.col), []).append(finding.rule)
+        else:
+            findings.append(finding)
+
+    if "REP000" in active_ids:
+        findings.extend(
+            _audit_suppressions(ctx, suppressions, used, active_ids)
+        )
+    findings.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
+    return findings, suppressed
+
+
+def _matching_suppression(
+    suppressions: Dict[int, List[Suppression]], finding: Finding
+) -> Optional[Suppression]:
+    for suppression in suppressions.get(finding.line, ()):
+        if suppression.covers(finding.rule):
+            return suppression
+    return None
+
+
+def _audit_suppressions(
+    ctx: FileContext,
+    suppressions: Dict[int, List[Suppression]],
+    used: Dict[Tuple[int, int], List[str]],
+    active_ids: AbstractSet[str],
+) -> List[Finding]:
+    """REP000: reasons present, rule ids known, every suppression earns
+    its keep (only judged for rules active in this run)."""
+    meta = get_rule("REP000")
+    audit: List[Finding] = []
+
+    def report(suppression: Suppression, message: str) -> None:
+        audit.append(
+            Finding(
+                rule=meta.rule_id,
+                severity=meta.severity,
+                path=ctx.path.as_posix(),
+                line=suppression.line,
+                col=suppression.col,
+                message=message,
+            )
+        )
+
+    for entries in suppressions.values():
+        for suppression in entries:
+            if not suppression.rule_ids:
+                report(suppression, "suppression names no rule id")
+                continue
+            unknown = [
+                rule_id
+                for rule_id in suppression.rule_ids
+                if not _is_known_rule(rule_id)
+            ]
+            if unknown:
+                report(
+                    suppression,
+                    f"suppression names unknown rule(s): {', '.join(unknown)}",
+                )
+                continue
+            if not suppression.reason:
+                report(
+                    suppression,
+                    "suppression without a reason; write "
+                    "'# repro: lint-ok[RULE] why this is safe'",
+                )
+                continue
+            judged = [r for r in suppression.rule_ids if r in active_ids]
+            hit = used.get((suppression.line, suppression.col), [])
+            unused = [r for r in judged if r not in hit]
+            if judged and unused:
+                report(
+                    suppression,
+                    f"suppression for {', '.join(unused)} masks nothing "
+                    "on this line; remove it",
+                )
+    return audit
+
+
+def _is_known_rule(rule_id: str) -> bool:
+    try:
+        get_rule(rule_id)
+    except LintError:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class _LintFileTask:
+    """Pool-safe unit body: lint one file with the given rule filters."""
+
+    path: str
+    select: Optional[Tuple[str, ...]] = None
+    ignore: Optional[Tuple[str, ...]] = None
+
+    def __call__(self) -> Tuple[Tuple[Finding, ...], Tuple[Finding, ...]]:
+        rules = resolve_rules(self.select, self.ignore)
+        try:
+            source = Path(self.path).read_text()
+        except OSError as error:
+            raise LintError(f"cannot read {self.path}: {error}") from error
+        findings, suppressed = lint_source(source, self.path, rules)
+        return tuple(findings), tuple(suppressed)
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    workers: Union[None, int, str] = None,
+) -> LintReport:
+    """Lint files or directory trees and aggregate one report.
+
+    ``select``/``ignore`` filter the rule set (validated up front);
+    ``workers`` follows the CLI convention of the other commands
+    (``None``/``0``/``"serial"`` serial, ``"auto"`` one per CPU).
+    """
+    resolve_rules(select, ignore)  # validate filters before any work
+    files = discover_files(paths)
+    select_t = tuple(select) if select is not None else None
+    ignore_t = tuple(ignore) if ignore is not None else None
+    units = [
+        RunUnit(
+            unit_id=Path(file).as_posix(),
+            payload={"path": Path(file).as_posix()},
+            run=_LintFileTask(str(file), select_t, ignore_t),
+        )
+        for file in files
+    ]
+    worker_count = resolve_workers(workers)
+    if worker_count is None or len(units) <= 1:
+        result = Runner(keep_going=True).run(units)
+    else:
+        result = PoolRunner(keep_going=True, workers=worker_count).run(units)
+    broken = [
+        f"{outcome.unit_id}: {(outcome.error or {}).get('message', 'unknown error')}"
+        for outcome in result.failed
+    ]
+    if broken:
+        raise LintError(
+            "lint failed on {} file(s): {}".format(len(broken), "; ".join(broken))
+        )
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for file_findings, file_suppressed in result.values():
+        findings.extend(file_findings)
+        suppressed.extend(file_suppressed)
+    findings.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
+    return LintReport(
+        findings=tuple(findings),
+        suppressed=tuple(suppressed),
+        n_files=len(files),
+    )

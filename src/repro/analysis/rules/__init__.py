@@ -1,0 +1,13 @@
+"""Built-in lint rules; importing this package registers them all."""
+
+from __future__ import annotations
+
+from . import atomic_writes, determinism, error_policy, geometry, picklable
+
+__all__ = [
+    "atomic_writes",
+    "determinism",
+    "error_policy",
+    "geometry",
+    "picklable",
+]

@@ -1,0 +1,80 @@
+"""REP001: artefact writes must route through :mod:`repro.runner.atomic`.
+
+The crash-safety guarantee (PR 1) is that every persisted artefact is
+either the previous complete file or the new complete file — never a
+torn half-write.  That only holds if *every* write goes through the
+tmp-sibling + ``os.replace`` helpers.  This rule flags the escape
+hatches: a builtin ``open`` in a writing mode, ``gzip``/``io`` opens in
+a writing mode, and ``Path.write_text``/``Path.write_bytes``.
+
+Scope: library code, benchmarks, and examples.  Test files are exempt
+(tests legitimately scribble into ``tmp_path`` to *create* corrupt
+inputs), as is ``runner/atomic.py`` itself — the one module allowed to
+open files for writing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..finding import FileContext, dotted_name
+from ..registry import Violation, checker
+
+_ALLOWED_FILE = "runner/atomic.py"
+_OPENERS = ("open", "gzip.open", "io.open", "bz2.open", "lzma.open")
+_PATH_WRITERS = ("write_text", "write_bytes")
+
+
+def _literal_mode(call: ast.Call) -> Optional[str]:
+    """The call's ``mode`` argument when it is a string literal."""
+    mode: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return "r"  # builtin default
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None  # dynamic — cannot prove a write statically
+
+
+@checker(
+    "REP001",
+    "atomic-writes",
+    "A direct file write can be torn by a crash mid-write; the atomic "
+    "helpers guarantee the artefact is always either complete or absent, "
+    "which is what --resume's artefact validation relies on.",
+)
+def check_atomic_writes(ctx: FileContext) -> Iterator[Violation]:
+    if ctx.kind == "test":
+        return
+    if ctx.package_relpath == _ALLOWED_FILE:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = dotted_name(node.func)
+        if target in _OPENERS:
+            mode = _literal_mode(node)
+            if mode is not None and any(ch in mode for ch in "wax+"):
+                yield (
+                    node.lineno,
+                    node.col_offset + 1,
+                    f"{target}(..., {mode!r}) writes directly; route artefact "
+                    "writes through repro.runner.atomic "
+                    "(atomic_open / write_text_atomic / write_bytes_atomic)",
+                )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _PATH_WRITERS
+        ):
+            yield (
+                node.lineno,
+                node.col_offset + 1,
+                f".{node.func.attr}(...) writes directly; use "
+                f"repro.runner.atomic.{'write_text_atomic' if node.func.attr == 'write_text' else 'write_bytes_atomic'} "
+                "so a crash cannot leave a torn artefact",
+            )

@@ -1,0 +1,75 @@
+"""REP002: model code must be deterministic.
+
+The parallel-execution guarantee (PR 2) is that a sweep's artefacts are
+byte-identical whatever the worker count — which is only true while the
+cache, timing, area, power, and extension models compute pure functions
+of their inputs.  Wall-clock reads and unseeded random sources are the
+two ways determinism silently leaks out, so both are banned in those
+packages.  (Seeded generators are fine: the trace synthesiser derives
+every ``numpy`` generator from a stable name hash.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..finding import FileContext
+from ..registry import Violation, checker
+
+#: Packages whose byte-equality the differential pool tests depend on.
+_SCOPED_DIRS = ("cache", "timing", "area", "power", "ext")
+
+_WALL_CLOCKS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: numpy.random attributes that are *not* the legacy global RNG.
+_SEEDABLE_CONSTRUCTORS = frozenset(
+    {"Generator", "SeedSequence", "BitGenerator", "PCG64", "PCG64DXSM",
+     "Philox", "MT19937", "SFC64"}
+)
+
+
+@checker(
+    "REP002",
+    "determinism",
+    "A wall-clock read or unseeded RNG in a model module breaks the "
+    "byte-identical-under-parallelism guarantee the pool tests enforce.",
+)
+def check_determinism(ctx: FileContext) -> Iterator[Violation]:
+    if not ctx.in_package_dirs(*_SCOPED_DIRS):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = ctx.canonical_call_name(node.func)
+        if target is None:
+            continue
+        where = (node.lineno, node.col_offset + 1)
+        if target in _WALL_CLOCKS:
+            yield (*where, f"{target}() reads the wall clock in model code; "
+                   "model outputs must be pure functions of their inputs")
+        elif target.startswith("random."):
+            yield (*where, f"{target}() uses the global stdlib RNG; derive a "
+                   "seeded numpy Generator from the model's inputs instead")
+        elif target.startswith("numpy.random."):
+            tail = target[len("numpy.random."):]
+            if tail == "default_rng":
+                if not node.args and not node.keywords:
+                    yield (*where, "numpy.random.default_rng() without a seed "
+                           "is nondeterministic; pass an explicit seed")
+            elif tail not in _SEEDABLE_CONSTRUCTORS:
+                yield (*where, f"numpy.random.{tail}() uses the legacy global "
+                       "RNG; use a seeded numpy.random.default_rng(...)")

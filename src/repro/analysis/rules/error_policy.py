@@ -1,0 +1,57 @@
+"""REP003: the typed error contract.
+
+The CLI promises ``error: …`` + exit 2 for every library failure, which
+works because :func:`repro.cli.main` catches exactly
+:class:`~repro.errors.ReproError`.  A ``raise ValueError`` deep in the
+library escapes that contract and surfaces as a traceback; a bare
+``except:`` swallows ``KeyboardInterrupt`` and the injected crashes the
+resilience tests rely on.  Library code therefore raises ``ReproError``
+subclasses and never uses a bare except.
+
+``TypeError`` (and friends) stay allowed: a *programming* error — wrong
+type handed to an API — is deliberately distinct from a *library*
+error, per the :mod:`repro.errors` module contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..finding import FileContext, dotted_name
+from ..registry import Violation, checker
+
+_BANNED_RAISES = frozenset({"ValueError", "RuntimeError", "Exception"})
+
+
+@checker(
+    "REP003",
+    "error-policy",
+    "Library failures must surface as ReproError subclasses so the CLI's "
+    "exit-2 contract holds and callers can catch library errors without "
+    "swallowing programming errors; bare except blocks break crash "
+    "injection and Ctrl-C.",
+)
+def check_error_policy(ctx: FileContext) -> Iterator[Violation]:
+    in_library = ctx.kind == "package"
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Raise) and in_library:
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            name = dotted_name(exc) if exc is not None else None
+            if name in _BANNED_RAISES:
+                yield (
+                    node.lineno,
+                    node.col_offset + 1,
+                    f"raise {name} in library code; raise a ReproError "
+                    "subclass from repro.errors so the CLI error contract "
+                    "(exit 2) holds",
+                )
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield (
+                node.lineno,
+                node.col_offset + 1,
+                "bare 'except:' also catches KeyboardInterrupt and injected "
+                "crashes; catch Exception or a ReproError subclass",
+            )

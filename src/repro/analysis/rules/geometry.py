@@ -1,0 +1,124 @@
+"""REP005: cache-shape literals must be valid geometries.
+
+Benchmarks, examples, and tests are full of literal cache shapes —
+``CacheGeometry(kb(64), associativity=4)`` and friends.  An invalid
+literal only explodes when that particular script runs, which for a
+rarely-exercised ablation can be long after the commit.  This rule
+evaluates literal shapes at lint time against
+:func:`repro.cache.geometry.geometry_violations` — the *same* predicate
+the runtime validator raises from, so the static and dynamic checks
+agree exactly (power-of-two capacity, power-of-two line size,
+associativity >= 1, whole sets).
+
+Shapes with non-literal arguments are skipped (nothing to evaluate),
+as are constructions inside ``pytest.raises`` blocks, which exist
+precisely to exercise invalid shapes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from ...cache.geometry import DEFAULT_LINE_SIZE, geometry_violations
+from ...units import KB
+from ..finding import FileContext, dotted_name
+from ..registry import Violation, checker
+
+_FIELDS = ("size_bytes", "line_size", "associativity")
+
+
+def _literal_int(node: ast.expr) -> Optional[int]:
+    """Evaluate a literal integer expression, including ``kb(N)`` calls."""
+    if isinstance(node, ast.Constant):
+        value = node.value
+        if isinstance(value, bool) or not isinstance(value, int):
+            return None
+        return value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal_int(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.BinOp):
+        left = _literal_int(node.left)
+        right = _literal_int(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.LShift):
+            return left << right if 0 <= right < 64 else None
+        if isinstance(node.op, ast.Pow):
+            return left**right if 0 <= right < 64 else None
+        return None
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if (
+            name is not None
+            and name.split(".")[-1] == "kb"
+            and len(node.args) == 1
+            and not node.keywords
+        ):
+            inner = _literal_int(node.args[0])
+            return None if inner is None else inner * KB
+    return None
+
+
+def _shape_arguments(call: ast.Call) -> Optional[Dict[str, int]]:
+    """Literal (field -> value) for a CacheGeometry call, else None.
+
+    None means at least one *present* argument is not statically
+    evaluable, so the shape cannot be judged; absent fields fall back
+    to the dataclass defaults inside ``geometry_violations``.
+    """
+    values: Dict[str, int] = {}
+    if len(call.args) > len(_FIELDS):
+        return None
+    for index, arg in enumerate(call.args):
+        literal = _literal_int(arg)
+        if literal is None:
+            return None
+        values[_FIELDS[index]] = literal
+    for keyword in call.keywords:
+        if keyword.arg not in _FIELDS:
+            return None
+        literal = _literal_int(keyword.value)
+        if literal is None:
+            return None
+        values[keyword.arg] = literal
+    return values
+
+
+@checker(
+    "REP005",
+    "geometry-literals",
+    "An invalid literal cache shape only fails when its script finally "
+    "runs; checking literals against the runtime validator's own "
+    "predicate at lint time catches the breakage at commit time.",
+)
+def check_geometry_literals(ctx: FileContext) -> Iterator[Violation]:
+    if ctx.kind not in ("benchmark", "example", "test"):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None or name.split(".")[-1] != "CacheGeometry":
+            continue
+        if ctx.in_pytest_raises(node):
+            continue
+        shape = _shape_arguments(node)
+        if shape is None or "size_bytes" not in shape:
+            continue
+        for problem in geometry_violations(
+            shape["size_bytes"],
+            shape.get("line_size", DEFAULT_LINE_SIZE),
+            shape.get("associativity", 1),
+        ):
+            yield (
+                node.lineno,
+                node.col_offset + 1,
+                f"invalid cache geometry literal: {problem} "
+                "(CacheGeometry would raise GeometryError at runtime)",
+            )

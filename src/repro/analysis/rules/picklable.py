@@ -1,0 +1,83 @@
+"""REP004: pool-bound unit bodies must be picklable.
+
+:class:`~repro.runner.pool.PoolRunner` ships a unit's ``run`` and
+``to_record`` callables to worker processes, so they must pickle —
+module-level functions or instances of module-level classes.  A lambda
+or a function defined inside another function works fine under the
+serial engine and then explodes the moment ``--workers`` is passed,
+which is exactly the kind of latent landmine a static check removes.
+(``check_skip`` and ``from_record`` stay parent-side and may close over
+anything, per the pool module's pickling contract.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from ..finding import FileContext, dotted_name
+from ..registry import Violation, checker
+
+#: RunUnit(unit_id, payload, run, to_record, ...) positional slots that
+#: are shipped to workers.
+_SHIPPED_ARGS = {2: "run", 3: "to_record"}
+_SHIPPED_KEYWORDS = frozenset(_SHIPPED_ARGS.values())
+
+
+def _nested_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside another function's body."""
+    nested: Set[str] = set()
+
+    def walk(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            is_fn = isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if is_fn and inside_function:
+                nested.add(child.name)  # type: ignore[union-attr]
+            walk(child, inside_function or is_fn)
+
+    walk(tree, False)
+    return nested
+
+
+def _is_run_unit_call(call: ast.Call) -> bool:
+    name = dotted_name(call.func)
+    return name is not None and name.split(".")[-1] == "RunUnit"
+
+
+@checker(
+    "REP004",
+    "pool-picklability",
+    "A lambda or nested function as a unit body pickles under the serial "
+    "engine but crashes every --workers run; bodies must be module-level "
+    "callables or instances of module-level classes.",
+)
+def check_picklable(ctx: FileContext) -> Iterator[Violation]:
+    if ctx.kind != "package":
+        return
+    nested = _nested_function_names(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or not _is_run_unit_call(node):
+            continue
+        for slot, value in _shipped_arguments(node):
+            problem: Optional[str] = None
+            if isinstance(value, ast.Lambda):
+                problem = "a lambda"
+            elif isinstance(value, ast.Name) and value.id in nested:
+                problem = f"nested function {value.id!r}"
+            if problem is not None:
+                yield (
+                    value.lineno,
+                    value.col_offset + 1,
+                    f"RunUnit {slot}= is {problem}, which cannot be pickled "
+                    "to pool workers; use a module-level function or a "
+                    "dataclass instance (see repro.runner.pool)",
+                )
+
+
+def _shipped_arguments(call: ast.Call) -> Iterator[Tuple[str, ast.expr]]:
+    for index, arg in enumerate(call.args):
+        if index in _SHIPPED_ARGS:
+            yield _SHIPPED_ARGS[index], arg
+    for keyword in call.keywords:
+        if keyword.arg in _SHIPPED_KEYWORDS:
+            yield keyword.arg, keyword.value

@@ -1,0 +1,81 @@
+"""Inline suppressions: ``# repro: lint-ok[RULE-ID] reason``.
+
+A suppression masks findings of the named rule(s) on its own line, or —
+when written as a comment-only line — on the line directly below it,
+which keeps long flagged statements readable.  The reason is
+mandatory; a reason-less suppression does not suppress and is itself
+reported under REP000, as is a suppression naming an unknown rule or
+one that masks nothing.  This keeps the exemption inventory honest:
+``repro lint`` output plus the suppression comments in the tree are
+together the complete, explained list of contract deviations.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["Suppression", "scan_suppressions"]
+
+_PATTERN = re.compile(
+    r"#\s*repro:\s*lint-ok\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*?)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression comment.
+
+    ``line``/``col`` locate the comment itself (for reporting);
+    ``applies_to`` is the line whose findings it masks — the same line
+    for a trailing comment, the next line for a comment-only line.
+    """
+
+    line: int
+    col: int
+    applies_to: int
+    rule_ids: Tuple[str, ...]
+    reason: str
+
+    def covers(self, rule_id: str) -> bool:
+        return rule_id in self.rule_ids
+
+
+def scan_suppressions(source: str) -> Dict[int, List[Suppression]]:
+    """All suppression comments in a file, keyed by the line they mask.
+
+    Tokenizer-based, so only genuine ``#`` comments count — a
+    suppression example quoted inside a docstring or string literal is
+    inert (the docstrings of this very package would otherwise lint
+    themselves).
+    """
+    found: Dict[int, List[Suppression]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return found  # the file already failed/will fail to parse
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(token.string)
+        if match is None:
+            continue
+        lineno, col = token.start
+        standalone = not token.line[:col].strip()
+        rule_ids = tuple(
+            part.strip().upper()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        suppression = Suppression(
+            line=lineno,
+            col=col + match.start() + 1,
+            applies_to=lineno + 1 if standalone else lineno,
+            rule_ids=rule_ids,
+            reason=match.group("reason").strip(),
+        )
+        found.setdefault(suppression.applies_to, []).append(suppression)
+    return found

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import GeometryError
+from ..errors import GeometryError, TraceError
 
 __all__ = ["DirectMappedFilter", "direct_mapped_filter", "dirty_victim_mask"]
 
@@ -130,7 +130,7 @@ def dirty_victim_mask(
     lines = np.ascontiguousarray(lines, dtype=np.int64)
     is_store = np.ascontiguousarray(is_store, dtype=bool)
     if len(lines) != len(is_store):
-        raise ValueError("lines and is_store must align")
+        raise TraceError("lines and is_store must align")
     n = len(lines)
     result = np.zeros(n, dtype=bool)
     if n == 0:

@@ -10,14 +10,64 @@ timing/area models.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List
 
 from ..errors import GeometryError
 from ..units import fmt_size, is_pow2
 
-__all__ = ["CacheGeometry", "DEFAULT_LINE_SIZE"]
+__all__ = ["CacheGeometry", "DEFAULT_LINE_SIZE", "geometry_violations"]
 
 #: The paper uses 16-byte lines throughout.
 DEFAULT_LINE_SIZE = 16
+
+
+def _is_dimension(value: object) -> bool:
+    """A usable cache dimension: a true int (bools are not dimensions)."""
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def geometry_violations(
+    size_bytes: object,
+    line_size: object = DEFAULT_LINE_SIZE,
+    associativity: object = 1,
+) -> List[str]:
+    """Every constraint the shape violates; empty means valid.
+
+    This is the *single* source of truth for geometry validity: the
+    runtime validator (:meth:`CacheGeometry.__post_init__`) raises on
+    the first entry, and the ``REP005`` static checker
+    (:mod:`repro.analysis.rules.geometry`) reports the same messages
+    for literal configurations — the two can never drift apart.
+    """
+    problems: List[str] = []
+    for label, value in (
+        ("cache size", size_bytes),
+        ("line size", line_size),
+        ("associativity", associativity),
+    ):
+        if not _is_dimension(value):
+            problems.append(f"{label} {value!r} is not an integer")
+    if problems:
+        return problems
+    assert isinstance(size_bytes, int)
+    assert isinstance(line_size, int)
+    assert isinstance(associativity, int)
+    if not is_pow2(size_bytes):
+        problems.append(f"cache size {size_bytes} not a power of two")
+    if not is_pow2(line_size):
+        problems.append(f"line size {line_size} not a power of two")
+    if associativity < 1:
+        problems.append("associativity must be >= 1")
+    if problems:
+        return problems
+    if line_size > size_bytes:
+        problems.append("line size exceeds cache size")
+    elif size_bytes % (line_size * associativity) != 0:
+        problems.append(
+            f"{associativity}-way cache of {size_bytes} B cannot be "
+            f"divided into whole sets of {line_size} B lines"
+        )
+    return problems
 
 
 @dataclass(frozen=True)
@@ -39,19 +89,11 @@ class CacheGeometry:
     associativity: int = 1
 
     def __post_init__(self) -> None:
-        if not is_pow2(self.size_bytes):
-            raise GeometryError(f"cache size {self.size_bytes} not a power of two")
-        if not is_pow2(self.line_size):
-            raise GeometryError(f"line size {self.line_size} not a power of two")
-        if self.associativity < 1:
-            raise GeometryError("associativity must be >= 1")
-        if self.line_size > self.size_bytes:
-            raise GeometryError("line size exceeds cache size")
-        if self.size_bytes % (self.line_size * self.associativity) != 0:
-            raise GeometryError(
-                f"{self.associativity}-way cache of {self.size_bytes} B cannot be "
-                f"divided into whole sets of {self.line_size} B lines"
-            )
+        problems = geometry_violations(
+            self.size_bytes, self.line_size, self.associativity
+        )
+        if problems:
+            raise GeometryError("; ".join(problems))
 
     @property
     def n_lines(self) -> int:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Protocol, Sequence
 
+from ..errors import GeometryError
 from ..lfsr import Lfsr16
 
 __all__ = ["ReplacementPolicy", "LfsrReplacement", "LruReplacement"]
@@ -37,7 +38,7 @@ class LfsrReplacement:
 
     def __init__(self, associativity: int, seed: int = 0xACE1) -> None:
         if associativity < 1:
-            raise ValueError("associativity must be >= 1")
+            raise GeometryError("associativity must be >= 1")
         self._associativity = associativity
         self._lfsr = Lfsr16(seed)
 
@@ -58,7 +59,7 @@ class LruReplacement:
 
     def __init__(self, associativity: int, n_sets: int) -> None:
         if associativity < 1 or n_sets < 1:
-            raise ValueError("associativity and n_sets must be >= 1")
+            raise GeometryError("associativity and n_sets must be >= 1")
         self._stacks: List[List[int]] = [
             list(range(associativity)) for _ in range(n_sets)
         ]

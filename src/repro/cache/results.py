@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ModelError
+
 __all__ = ["HierarchyStats"]
 
 
@@ -29,9 +31,9 @@ class HierarchyStats:
     def __post_init__(self) -> None:
         if self.has_l2:
             if self.l2_hits + self.l2_misses != self.l1_misses:
-                raise ValueError("L2 hit + miss counts must equal L1 misses")
+                raise ModelError("L2 hit + miss counts must equal L1 misses")
         elif self.l2_hits or self.l2_misses:
-            raise ValueError("single-level stats cannot have L2 counts")
+            raise ModelError("single-level stats cannot have L2 counts")
 
     @property
     def n_refs(self) -> int:

@@ -21,9 +21,15 @@ Commands
 ``sweep --workload W [--out DIR] [...]``
     Evaluate the full design space point by point through the
     resilient runner.
+``lint [paths] [--format json] [--select ...] [--ignore ...]``
+    Run the repro static-analysis checkers (atomic writes,
+    determinism, error policy, pool picklability, geometry literals)
+    over source trees; exit 0 clean, 1 findings, 2 internal error.
+    ``--list-rules`` prints the rule catalogue.
 
-``report`` and ``sweep`` accept ``--workers N`` (or ``--workers auto``)
-to fan units out over worker processes with identical output.
+``report``, ``sweep``, and ``lint`` accept ``--workers N`` (or
+``--workers auto``) to fan units out over worker processes with
+identical output.
 
 Library failures (:class:`~repro.errors.ReproError`) print a one-line
 ``error: …`` to stderr and exit with code 2; pass ``--debug`` for the
@@ -38,12 +44,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from .analysis import all_rules, lint_paths, render_human, render_json
 from .cache.hierarchy import Policy
 from .core.config import SystemConfig
 from .core.envelope import best_envelope
 from .core.evaluate import evaluate
 from .core.explorer import as_point, design_space, run_sweep, sweep
-from .errors import ReproError
+from .errors import LintError, ReproError
 from .runner import write_text_atomic
 from .study import experiment_ids, get_experiment
 from .study.plot import plot_experiment
@@ -226,6 +233,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default lint targets, filtered to those that exist under the cwd.
+LINT_DEFAULT_PATHS = ("src", "benchmarks", "examples")
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        rows = [
+            (rule.rule_id, rule.name, rule.severity, rule.rationale)
+            for rule in all_rules()
+        ]
+        print(render_table(("rule", "name", "severity", "rationale"), rows))
+        return 0
+    paths = args.paths or [
+        path for path in LINT_DEFAULT_PATHS if Path(path).is_dir()
+    ]
+    if not paths:
+        raise LintError(
+            "no lint targets: pass paths explicitly or run from a directory "
+            f"containing {', '.join(LINT_DEFAULT_PATHS)}"
+        )
+    report = lint_paths(
+        paths,
+        select=args.select.split(",") if args.select else None,
+        ignore=args.ignore.split(",") if args.ignore else None,
+        workers=args.workers,
+    )
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_human(report))
+    return 0 if report.clean else 1
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -325,6 +365,46 @@ def _build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--out", default="", help="directory for journal + sweep.tsv")
     add_runner_args(sw)
     sw.set_defaults(func=_cmd_sweep)
+
+    lint = sub.add_parser(
+        "lint", help="run the repro static-analysis checkers"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint "
+        f"(default: {' '.join(LINT_DEFAULT_PATHS)} under the cwd)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    lint.add_argument(
+        "--select",
+        default="",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore",
+        default="",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint.add_argument(
+        "--workers",
+        default=None,
+        metavar="N",
+        help="lint files in N worker processes ('auto' = one per CPU)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -17,6 +17,7 @@ __all__ = [
     "RunnerError",
     "CheckpointError",
     "UnitTimeoutError",
+    "LintError",
 ]
 
 
@@ -59,6 +60,16 @@ class RunnerError(ReproError):
 
 class CheckpointError(RunnerError):
     """A run journal is corrupt or written by an incompatible version."""
+
+
+class LintError(ReproError):
+    """The static-analysis engine itself failed or was misused.
+
+    Examples: a lint target that does not exist or fails to parse, or
+    an unknown rule id in ``--select``/``--ignore``.  Findings are not
+    errors — ``repro lint`` reports them and exits 1; this class covers
+    the exit-2 internal-error path.
+    """
 
 
 class UnitTimeoutError(RunnerError):

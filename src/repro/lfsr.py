@@ -13,6 +13,8 @@ x^16 + x^14 + x^13 + x^11 + 1 (taps 0xB400), giving a period of
 
 from __future__ import annotations
 
+from .errors import ConfigurationError
+
 __all__ = ["Lfsr16"]
 
 _TAPS = 0xB400
@@ -35,7 +37,7 @@ class Lfsr16:
     def __init__(self, seed: int = 0xACE1) -> None:
         state = seed & 0xFFFF
         if state == 0:
-            raise ValueError("LFSR seed must be non-zero in the low 16 bits")
+            raise ConfigurationError("LFSR seed must be non-zero in the low 16 bits")
         self._state = state
 
     @property
@@ -60,7 +62,7 @@ class Lfsr16:
         is what simple hardware implementations do as well.
         """
         if associativity <= 0:
-            raise ValueError("associativity must be positive")
+            raise ConfigurationError("associativity must be positive")
         if associativity == 1:
             return 0
         return self.step() % associativity

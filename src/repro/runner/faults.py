@@ -161,4 +161,5 @@ def maybe_corrupt_file(unit_id: str, path: Union[str, Path]) -> None:
         return
     path = Path(path)
     data = path.read_bytes()
+    # repro: lint-ok[REP001] deliberately tears the artefact; bypassing the atomic-rename discipline is the point of this fault
     path.write_bytes(data[: len(data) // 2])

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..cache.geometry import CacheGeometry
+from ..errors import ModelError
 from .organization import (
     ArrayOrganization,
     data_array_shape,
@@ -62,7 +63,7 @@ class TimingResult:
 
     def __post_init__(self) -> None:
         if self.cycle_ns < self.access_ns:
-            raise ValueError("cycle time cannot be below access time")
+            raise ModelError("cycle time cannot be below access time")
 
 
 def access_and_cycle_time(

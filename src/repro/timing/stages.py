@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..errors import ModelError
 from .technology import Technology
 
 __all__ = [
@@ -59,7 +60,7 @@ class StageChain:
 
     def __post_init__(self) -> None:
         if len(self.names) != len(self.rcs):
-            raise ValueError("names and rcs must align")
+            raise ModelError("names and rcs must align")
 
     def extended(self, name: str, rc: float) -> "StageChain":
         """A new chain with one more stage appended."""

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..errors import ModelError
+
 __all__ = ["Technology", "TECH_08UM", "TECH_05UM"]
 
 
@@ -108,7 +110,7 @@ class Technology:
         to a 0.5 µm process by multiplying times by 0.5.
         """
         if factor <= 0:
-            raise ValueError("scale factor must be positive")
+            raise ModelError("scale factor must be positive")
         return replace(
             self,
             name=name or f"{self.name}*{factor}",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 
-from .errors import GeometryError
+from .errors import GeometryError, ModelError
 
 __all__ = [
     "KB",
@@ -54,12 +54,20 @@ def to_kb(nbytes: int) -> float:
     return nbytes / KB
 
 
-def is_pow2(n: int) -> bool:
-    """Return True if ``n`` is a positive power of two.
+def is_pow2(n: object) -> bool:
+    """Return True if ``n`` is a positive power-of-two integer.
+
+    Accepts any object so it can double as a validation predicate:
+    non-integers — including ``bool``, which *is* an ``int`` but never a
+    meaningful cache dimension — are simply not powers of two.
 
     >>> is_pow2(64), is_pow2(0), is_pow2(3)
     (True, False, False)
+    >>> is_pow2(True), is_pow2(-8), is_pow2(4.0)
+    (False, False, False)
     """
+    if isinstance(n, bool) or not isinstance(n, int):
+        return False
     return n > 0 and (n & (n - 1)) == 0
 
 
@@ -81,7 +89,7 @@ def ceil_div(a: int, b: int) -> int:
     4
     """
     if b <= 0:
-        raise ValueError("divisor must be positive")
+        raise ModelError("divisor must be positive")
     return -(-a // b)
 
 
@@ -100,7 +108,7 @@ def round_up_to_multiple(value: float, quantum: float) -> float:
     4.0
     """
     if quantum <= 0:
-        raise ValueError("quantum must be positive")
+        raise ModelError("quantum must be positive")
     if value <= 0:
         return 0.0
     ratio = value / quantum

@@ -1,0 +1,11 @@
+"""REP005 positive fixture: invalid literal cache shapes."""
+
+from repro.cache.geometry import CacheGeometry
+from repro.units import kb
+
+NOT_POW2 = CacheGeometry(3000)  # finding: 3000 not a power of two
+BAD_LINE = CacheGeometry(kb(4), line_size=24)  # finding: line size not pow2
+LINE_TOO_BIG = CacheGeometry(16, line_size=32)  # finding: line > cache
+BAD_ASSOC = CacheGeometry(kb(4), associativity=0)  # finding: assoc < 1
+RAGGED_SETS = CacheGeometry(64, line_size=16, associativity=8)  # finding: no whole sets
+BAD_EXPR = CacheGeometry(3 * 1000)  # finding: computed literal, still invalid

@@ -1,0 +1,21 @@
+"""REP005 negative fixture: valid shapes, dynamic shapes, raises-blocks."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import GeometryError
+from repro.units import kb
+
+L1 = CacheGeometry(kb(8))
+L2 = CacheGeometry(kb(64), associativity=4)
+EXPR = CacheGeometry(64 * 1024, line_size=16, associativity=4)
+SHIFTED = CacheGeometry(1 << 15)
+
+
+def build(size_bytes):
+    return CacheGeometry(size_bytes)  # dynamic: not judged statically
+
+
+def test_rejects_bad_size():
+    with pytest.raises(GeometryError):
+        CacheGeometry(3000)  # deliberately invalid: exempt inside raises

@@ -1,0 +1,6 @@
+"""REP005 suppressed fixture: an explained invalid shape."""
+
+from repro.cache.geometry import CacheGeometry
+
+# repro: lint-ok[REP005] demonstrates the error message text in docs output
+DOC_EXAMPLE = CacheGeometry(3000)

@@ -1,0 +1,29 @@
+"""REP002 positive fixture: wall clocks and unseeded RNGs in model code."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def timestamped_result(value):
+    return {"value": value, "at": time.time()}  # finding: wall clock
+
+
+def jittered(value):
+    return value + random.random()  # finding: stdlib global RNG
+
+
+def noisy(values):
+    rng = np.random.default_rng()  # finding: unseeded generator
+    return values + rng.normal(size=len(values))
+
+
+def legacy(values):
+    np.random.shuffle(values)  # finding: legacy global RNG
+    return values
+
+
+def dated():
+    return datetime.now()  # finding: wall clock

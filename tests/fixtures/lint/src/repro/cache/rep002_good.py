@@ -1,0 +1,14 @@
+"""REP002 negative fixture: seeded, reproducible randomness."""
+
+import numpy as np
+
+
+def shuffled(values, seed: int):
+    rng = np.random.default_rng(seed)  # seeded: deterministic
+    out = np.array(values)
+    rng.shuffle(out)
+    return out
+
+
+def generator_from_state(state: int):
+    return np.random.Generator(np.random.PCG64(state))

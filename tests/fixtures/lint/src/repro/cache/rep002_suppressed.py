@@ -1,0 +1,9 @@
+"""REP002 suppressed fixture: an explained wall-clock read."""
+
+import time
+
+
+def profile_only(fn):
+    started = time.perf_counter()  # repro: lint-ok[REP002] timing diagnostics only, never persisted
+    value = fn()
+    return value, time.perf_counter() - started  # repro: lint-ok[REP002] same diagnostic timer

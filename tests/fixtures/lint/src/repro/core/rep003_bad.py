@@ -1,0 +1,19 @@
+"""REP003 positive fixture: untyped raises and a bare except."""
+
+
+def check_positive(n):
+    if n <= 0:
+        raise ValueError("must be positive")  # finding: untyped raise
+    return n
+
+
+def run_all(tasks):
+    done = []
+    for task in tasks:
+        try:
+            done.append(task())
+        except:  # finding: bare except
+            pass
+    if not done:
+        raise RuntimeError("nothing ran")  # finding: untyped raise
+    return done

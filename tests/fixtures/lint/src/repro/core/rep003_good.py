@@ -1,0 +1,21 @@
+"""REP003 negative fixture: typed raises, narrow excepts."""
+
+from repro.errors import ConfigurationError, ReproError
+
+
+def check_positive(n):
+    if n <= 0:
+        raise ConfigurationError("must be positive")
+    if not isinstance(n, int):
+        raise TypeError("n must be an int")  # programming error: allowed
+    return n
+
+
+def run_all(tasks):
+    done = []
+    for task in tasks:
+        try:
+            done.append(task())
+        except ReproError:
+            pass
+    return done

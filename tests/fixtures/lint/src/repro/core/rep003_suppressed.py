@@ -1,0 +1,7 @@
+"""REP003 suppressed fixture: an explained untyped raise."""
+
+
+def reraise_for_api_compat(value):
+    if value is None:
+        raise ValueError("mimics dict.__missing__ contract")  # repro: lint-ok[REP003] third-party protocol requires ValueError
+    return value

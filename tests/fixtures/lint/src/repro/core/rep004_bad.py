@@ -1,0 +1,29 @@
+"""REP004 positive fixture: unpicklable bodies handed to RunUnit."""
+
+from repro.runner.engine import RunUnit
+
+
+def build_units(configs):
+    def run_one():  # nested: cannot pickle to pool workers
+        return sum(configs)
+
+    units = [
+        RunUnit(
+            unit_id="lambda-unit",
+            payload={},
+            run=lambda: 1,  # finding: lambda body
+        ),
+        RunUnit(
+            unit_id="nested-unit",
+            payload={},
+            run=run_one,  # finding: nested function body
+        ),
+        RunUnit("positional", {}, lambda: 2),  # finding: positional lambda
+        RunUnit(
+            unit_id="record-unit",
+            payload={},
+            run=run_one,  # finding: nested function body
+            to_record=lambda value: {"v": value},  # finding: lambda serialiser
+        ),
+    ]
+    return units

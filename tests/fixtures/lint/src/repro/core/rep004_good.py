@@ -1,0 +1,32 @@
+"""REP004 negative fixture: module-level bodies, parent-side closures."""
+
+from dataclasses import dataclass
+
+from repro.runner.engine import RunUnit
+
+
+@dataclass(frozen=True)
+class EvaluateOne:
+    value: int
+
+    def __call__(self):
+        return self.value * 2
+
+
+def record(value):
+    return {"value": value}
+
+
+def build_units(values, journal_dir):
+    return [
+        RunUnit(
+            unit_id=f"unit-{value}",
+            payload={"value": value},
+            run=EvaluateOne(value),
+            to_record=record,
+            # parent-side hooks may close over anything:
+            check_skip=lambda: journal_dir is not None,
+            from_record=lambda stored: stored["value"],
+        )
+        for value in values
+    ]

@@ -1,0 +1,11 @@
+"""REP004 suppressed fixture: a serial-only unit, explained."""
+
+from repro.runner.engine import RunUnit
+
+
+def build_serial_probe():
+    return RunUnit(
+        unit_id="probe",
+        payload={},
+        run=lambda: 0,  # repro: lint-ok[REP004] serial-only diagnostic probe, never reaches a pool
+    )

@@ -1,0 +1,23 @@
+"""REP001 positive fixture: direct artefact writes in library code."""
+
+import gzip
+import json
+from pathlib import Path
+
+
+def save_report(path, rows):
+    with open(path, "w") as handle:  # finding: builtin open in write mode
+        json.dump(rows, handle)
+
+
+def save_manifest(out: Path, text: str) -> None:
+    out.write_text(text)  # finding: Path.write_text
+
+
+def save_blob(out: Path, data: bytes) -> None:
+    out.write_bytes(data)  # finding: Path.write_bytes
+
+
+def save_compressed(path, text):
+    with gzip.open(path, mode="wt") as handle:  # finding: gzip open for write
+        handle.write(text)

@@ -1,0 +1,28 @@
+"""REP001 negative fixture: reads and atomic writes only."""
+
+import json
+
+from repro.runner import atomic_open, write_bytes_atomic, write_text_atomic
+
+
+def load_report(path):
+    with open(path) as handle:  # reads are fine
+        return json.load(handle)
+
+
+def load_strict(path):
+    with open(path, "r") as handle:
+        return handle.read()
+
+
+def save_report(path, rows):
+    with atomic_open(path, "w") as handle:
+        json.dump(rows, handle)
+
+
+def save_manifest(path, text):
+    write_text_atomic(path, text)
+
+
+def save_blob(path, data):
+    write_bytes_atomic(path, data)

@@ -1,0 +1,12 @@
+"""REP001 suppressed fixture: an explained, deliberate direct write."""
+
+from pathlib import Path
+
+
+def corrupt_for_test(path: Path) -> None:
+    path.write_bytes(b"torn")  # repro: lint-ok[REP001] simulates a torn write on purpose
+
+
+def corrupt_above(path: Path) -> None:
+    # repro: lint-ok[REP001] standalone-comment form, also explained
+    path.write_bytes(b"torn")

@@ -165,3 +165,74 @@ class TestParser:
         with pytest.raises(SystemExit) as excinfo:
             main(["--help"])
         assert excinfo.value.code == 0
+
+
+class TestLint:
+    BAD = 'from pathlib import Path\n\n\ndef save(path: Path, text: str) -> None:\n    path.write_text(text)\n'
+    GOOD = (
+        "from repro.runner import write_text_atomic\n\n\n"
+        "def save(path, text):\n    write_text_atomic(path, text)\n"
+    )
+
+    def _package_file(self, tmp_path, name, source):
+        target = tmp_path / "src" / "repro" / "study"
+        target.mkdir(parents=True, exist_ok=True)
+        (target / name).write_text(source)
+        return target / name
+
+    def test_clean_tree_exits_0(self, capsys, tmp_path):
+        path = self._package_file(tmp_path, "clean.py", self.GOOD)
+        assert main(["lint", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, capsys, tmp_path):
+        path = self._package_file(tmp_path, "dirty.py", self.BAD)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out and "write_text" in out
+
+    def test_missing_target_exits_2(self, capsys, tmp_path):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_unknown_rule_filter_exits_2(self, capsys, tmp_path):
+        path = self._package_file(tmp_path, "clean.py", self.GOOD)
+        assert main(["lint", str(path), "--select", "REP999"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_json_format(self, capsys, tmp_path):
+        import json as json_module
+
+        path = self._package_file(tmp_path, "dirty.py", self.BAD)
+        assert main(["lint", str(path), "--format", "json"]) == 1
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["clean"] is False
+        assert payload["findings"][0]["rule"] == "REP001"
+
+    def test_select_filters_rules(self, capsys, tmp_path):
+        path = self._package_file(tmp_path, "dirty.py", self.BAD)
+        # REP001 not selected: the write is invisible to REP003
+        assert main(["lint", str(path), "--select", "REP003"]) == 0
+        capsys.readouterr()
+
+    def test_ignore_filters_rules(self, capsys, tmp_path):
+        path = self._package_file(tmp_path, "dirty.py", self.BAD)
+        assert main(["lint", str(path), "--ignore", "REP001"]) == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP000", "REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert rule_id in out
+
+    def test_workers_matches_serial(self, capsys, tmp_path):
+        self._package_file(tmp_path, "dirty.py", self.BAD)
+        self._package_file(tmp_path, "clean.py", self.GOOD)
+        target = str(tmp_path / "src")
+        assert main(["lint", target]) == 1
+        serial = capsys.readouterr().out
+        assert main(["lint", target, "--workers", "2"]) == 1
+        assert capsys.readouterr().out == serial

@@ -9,7 +9,7 @@ from repro.cache.directmap import dirty_victim_mask
 from repro.cache.hierarchy import Policy
 from repro.core.config import SystemConfig
 from repro.core.evaluate import evaluate
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TraceError
 from repro.ext.writes import count_write_traffic, evaluate_with_writes
 from repro.traces.address import Trace
 from repro.units import kb
@@ -60,7 +60,7 @@ class TestDirtyVictimMask:
         assert len(dirty_victim_mask(np.array([]), np.array([], dtype=bool), 4)) == 0
 
     def test_misaligned_inputs_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(TraceError):
             dirty_victim_mask(np.array([1, 2]), np.array([True]), 4)
 
     @settings(max_examples=150, deadline=None)

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.cache.geometry import CacheGeometry
+from repro.cache.geometry import CacheGeometry, geometry_violations
 from repro.errors import GeometryError
 from repro.units import kb
 
@@ -45,6 +45,37 @@ class TestValidation:
     def test_associativity_larger_than_lines_rejected(self):
         with pytest.raises(GeometryError):
             CacheGeometry(64, line_size=16, associativity=8)
+
+    def test_zero_and_negative_sizes_rejected(self):
+        with pytest.raises(GeometryError):
+            CacheGeometry(0)
+        with pytest.raises(GeometryError):
+            CacheGeometry(-4096)
+
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            dict(size_bytes=True),
+            dict(size_bytes=kb(4), line_size=True),
+            dict(size_bytes=kb(4), associativity=True),
+        ],
+    )
+    def test_bool_dimensions_rejected(self, shape):
+        # True == 1 numerically, but a bool is never a cache dimension.
+        with pytest.raises(GeometryError):
+            CacheGeometry(**shape)
+
+    def test_violations_predicate_matches_validator(self):
+        # The REP005 checker consumes geometry_violations directly; the
+        # validator must raise exactly when it is non-empty.
+        valid = geometry_violations(kb(8), 16, 1)
+        assert valid == []
+        problems = geometry_violations(3000, 24, 0)
+        assert len(problems) == 3
+        with pytest.raises(GeometryError) as excinfo:
+            CacheGeometry(3000, line_size=24, associativity=0)
+        for problem in problems:
+            assert problem in str(excinfo.value)
 
 
 class TestDerived:

@@ -2,16 +2,17 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.lfsr import Lfsr16
 
 
 class TestLfsr16:
     def test_rejects_zero_seed(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             Lfsr16(0)
 
     def test_rejects_zero_seed_modulo_16_bits(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             Lfsr16(0x10000)
 
     def test_deterministic(self):
@@ -51,7 +52,7 @@ class TestLfsr16:
             assert abs(c - 10000) < 600
 
     def test_next_way_rejects_bad_assoc(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             Lfsr16().next_way(0)
 
     def test_associativity_one_does_not_advance_state(self):

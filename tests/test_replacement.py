@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cache.replacement import LfsrReplacement, LruReplacement
+from repro.errors import GeometryError
 
 
 class TestLfsrReplacement:
@@ -25,7 +26,7 @@ class TestLfsrReplacement:
         assert isinstance(a, int)
 
     def test_rejects_bad_associativity(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GeometryError):
             LfsrReplacement(0)
 
 
@@ -54,7 +55,7 @@ class TestLruReplacement:
         assert policy.victim_way(0) == 1
 
     def test_rejects_bad_arguments(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GeometryError):
             LruReplacement(0, 1)
-        with pytest.raises(ValueError):
+        with pytest.raises(GeometryError):
             LruReplacement(2, 0)

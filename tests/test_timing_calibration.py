@@ -4,6 +4,7 @@ import pytest
 
 from repro.timing.optimal import optimal_timing
 from repro.timing.technology import TECH_05UM, TECH_08UM, Technology
+from repro.errors import ModelError
 from repro.units import kb
 
 
@@ -41,7 +42,7 @@ class TestTechnology:
         assert TECH_05UM.time_scale == pytest.approx(0.5 * TECH_08UM.time_scale)
 
     def test_scaled_rejects_nonpositive(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             TECH_08UM.scaled(0)
 
     def test_scaled_composes(self):

@@ -14,6 +14,7 @@ from repro.timing.stages import (
     wordline_rc,
 )
 from repro.timing.technology import TECH_05UM, TECH_08UM
+from repro.errors import ModelError
 from repro.units import kb
 
 SIZES = [kb(k) for k in (1, 2, 4, 8, 16, 32, 64, 128, 256)]
@@ -26,7 +27,7 @@ class TestStages:
         assert chain.rcs == (1.0, 2.0)
 
     def test_chain_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             StageChain(("a", "b"), (1.0,))
 
     def test_chain_delay_includes_slope_coupling(self):

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.errors import GeometryError
+from repro.errors import GeometryError, ModelError
 from repro.units import (
     KB,
     ceil_div,
@@ -44,6 +44,17 @@ class TestPow2:
         assert not is_pow2(-4)
         assert not is_pow2(3)
 
+    def test_is_pow2_rejects_bools(self):
+        # bool is an int subtype; True would otherwise read as 2**0 and
+        # let CacheGeometry(True) slip through the validator.
+        assert not is_pow2(True)
+        assert not is_pow2(False)
+
+    def test_is_pow2_rejects_non_integers(self):
+        assert not is_pow2(4.0)
+        assert not is_pow2("4")
+        assert not is_pow2(None)
+
     def test_log2_int(self):
         assert log2_int(1) == 0
         assert log2_int(65536) == 16
@@ -64,7 +75,7 @@ class TestCeilDiv:
         assert ceil_div(0, 4) == 0
 
     def test_rejects_bad_divisor(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             ceil_div(4, 0)
 
     @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
@@ -88,7 +99,7 @@ class TestRoundUpToMultiple:
         assert round_up_to_multiple(0.0, 2.5) == 0.0
 
     def test_rejects_nonpositive_quantum(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             round_up_to_multiple(1.0, 0.0)
 
     @given(
