@@ -1,0 +1,80 @@
+"""Verification throughput over a generated artefact tree.
+
+Integrity checking runs after every CI smoke and inside ``--repair``
+loops, so it must stay cheap relative to the runs it guards.  This
+bench generates a synthetic results tree (many small artefacts across
+several directories, all sidecar-tracked and manifested), measures a
+full ``verify_tree`` pass and a ``tree_fingerprint`` pass, and records
+both to ``benchmarks/output/BENCH_integrity.json``.
+
+The gate is deliberately loose — verification of a ~600-artefact tree
+must finish within seconds, i.e. orders of magnitude below the
+sweeps that produce such trees — because CI runners vary widely; the
+recorded absolute numbers are what trend dashboards should watch.
+"""
+
+import json
+import time
+
+from repro.runner import (
+    tree_fingerprint,
+    verify_tree,
+    write_manifest,
+    write_text_atomic,
+)
+
+#: Synthetic tree shape: directories x artefacts, ~1 KiB each.
+N_DIRS = 12
+N_FILES = 50
+BODY = "x" * 1024
+
+#: Upper bound for one full verification pass of the tree (seconds).
+VERIFY_BUDGET_S = 10.0
+
+
+def _build_tree(root):
+    for d in range(N_DIRS):
+        directory = root / f"run{d:02d}"
+        for f in range(N_FILES):
+            write_text_atomic(
+                directory / f"art{f:03d}.json",
+                f'{{"dir": {d}, "file": {f}, "body": "{BODY}"}}\n',
+                track=True,
+            )
+        write_manifest(directory)
+    return N_DIRS * N_FILES
+
+
+def test_verify_throughput(output_dir, tmp_path):
+    n_artifacts = _build_tree(tmp_path)
+
+    started = time.perf_counter()
+    report = verify_tree(tmp_path)
+    verify_s = time.perf_counter() - started
+    assert report.clean
+    assert report.n_artifacts == n_artifacts
+
+    started = time.perf_counter()
+    fingerprint = tree_fingerprint(tmp_path)
+    fingerprint_s = time.perf_counter() - started
+    # artefacts + sidecars + manifests all participate
+    assert len(fingerprint) == n_artifacts * 2 + N_DIRS
+
+    record = {
+        "directories": N_DIRS,
+        "artifacts": n_artifacts,
+        "artifact_bytes": len(BODY),
+        "verify_s": round(verify_s, 3),
+        "fingerprint_s": round(fingerprint_s, 3),
+        "artifacts_per_s": round(n_artifacts / verify_s, 1) if verify_s > 0 else None,
+    }
+    write_text_atomic(
+        output_dir / "BENCH_integrity.json", json.dumps(record, indent=2) + "\n"
+    )
+    print()
+    print(json.dumps(record, indent=2))
+
+    assert verify_s < VERIFY_BUDGET_S, (
+        f"verify_tree took {verify_s:.2f}s over {n_artifacts} artefacts "
+        f"(budget {VERIFY_BUDGET_S}s)"
+    )

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from . import atomic_writes, determinism, error_policy, geometry, picklable
+from . import atomic_writes, determinism, error_policy, geometry, manifest, picklable
 
 __all__ = [
     "atomic_writes",
     "determinism",
     "error_policy",
     "geometry",
+    "manifest",
     "picklable",
 ]

@@ -1,0 +1,77 @@
+"""REP006: artefact-producing code must declare manifest tracking.
+
+``repro verify`` can only vouch for artefacts it knows about: a file
+written through the atomic helpers *without* a sha256 sidecar is
+invisible to the integrity walk — silent corruption of it is
+undetectable.  The ``track=`` keyword on
+:func:`~repro.runner.atomic.atomic_open` /
+:func:`~repro.runner.atomic.write_text_atomic` /
+:func:`~repro.runner.atomic.write_bytes_atomic` is the registration
+point, and it deliberately has no "right" default for library code:
+every call site must *choose* — ``track=True`` for persisted artefacts,
+``track=False`` for scratch output — and say so explicitly.
+
+Scope: package code outside ``runner/`` (which implements the
+machinery and owns its own integrity records) and ``analysis/`` (which
+never writes artefacts).  Benchmarks, examples, and tests are exempt:
+their output is throwaway by definition.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..finding import FileContext, dotted_name
+from ..registry import Violation, checker
+
+_HELPERS = ("atomic_open", "write_text_atomic", "write_bytes_atomic")
+
+
+def _is_atomic_helper(ctx: FileContext, func: ast.AST) -> bool:
+    """True when the call target resolves to one of the atomic helpers.
+
+    Handles both absolute imports (canonicalised through the file's
+    import aliases) and the package's own relative imports
+    (``from ..runner import write_text_atomic``), where only the bare
+    name is visible.
+    """
+    canonical = ctx.canonical_call_name(func)
+    raw = dotted_name(func)
+    for name in (canonical, raw):
+        if name is not None and name.split(".")[-1] in _HELPERS:
+            return True
+    return False
+
+
+@checker(
+    "REP006",
+    "manifest-tracking",
+    "An artefact written without a sha256 sidecar is invisible to "
+    "`repro verify` — corruption of it can never be detected or "
+    "repaired; every atomic-helper call site must explicitly choose "
+    "track=True (persisted artefact) or track=False (scratch output).",
+)
+def check_manifest_tracking(ctx: FileContext) -> Iterator[Violation]:
+    if ctx.kind != "package":
+        return
+    if ctx.in_package_dirs("runner", "analysis"):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not _is_atomic_helper(ctx, node.func):
+            continue
+        explicit = any(
+            keyword.arg == "track" or keyword.arg is None  # track= or **kwargs
+            for keyword in node.keywords
+        )
+        if not explicit:
+            target = dotted_name(node.func) or "atomic helper"
+            yield (
+                node.lineno,
+                node.col_offset + 1,
+                f"{target}(...) does not declare manifest tracking; pass "
+                "track=True to register the artefact with MANIFEST.json "
+                "(or track=False to explicitly opt scratch output out)",
+            )

@@ -23,13 +23,23 @@ Commands
     resilient runner.
 ``lint [paths] [--format json] [--select ...] [--ignore ...]``
     Run the repro static-analysis checkers (atomic writes,
-    determinism, error policy, pool picklability, geometry literals)
-    over source trees; exit 0 clean, 1 findings, 2 internal error.
-    ``--list-rules`` prints the rule catalogue.
+    determinism, error policy, pool picklability, geometry literals,
+    manifest tracking) over source trees; exit 0 clean, 1 findings,
+    2 internal error.  ``--list-rules`` prints the rule catalogue.
+``verify DIR [--repair]``
+    Re-hash every tracked artefact under ``DIR`` against its sha256
+    sidecar and ``MANIFEST.json``; exit 0 clean, 1 findings.
+    ``--repair`` quarantines corrupt artefacts and replays the
+    affected runs from their ``RUN.json`` recipes.
+``chaos --out DIR [--seed N] [--rounds N]``
+    Seeded chaos soak: run a report repeatedly under randomized (but
+    seed-reproducible) fault schedules plus direct bit rot, then
+    verify the repaired tree converges byte-identical to a clean run;
+    exit 0 converged, 1 diverged.
 
-``report``, ``sweep``, and ``lint`` accept ``--workers N`` (or
-``--workers auto``) to fan units out over worker processes with
-identical output.
+``report``, ``sweep``, ``lint``, ``verify``, and ``chaos`` accept
+``--workers N`` (or ``--workers auto``) to fan units out over worker
+processes with identical output.
 
 Library failures (:class:`~repro.errors.ReproError`) print a one-line
 ``error: …`` to stderr and exit with code 2; pass ``--debug`` for the
@@ -49,11 +59,13 @@ from .cache.hierarchy import Policy
 from .core.config import SystemConfig
 from .core.envelope import best_envelope
 from .core.evaluate import evaluate
-from .core.explorer import as_point, design_space, run_sweep, sweep
+from .core.explorer import as_point, design_space, run_sweep, run_sweep_dir, sweep
 from .errors import LintError, ReproError
-from .runner import write_text_atomic
+from .runner import verify_tree
 from .study import experiment_ids, get_experiment
+from .study.chaos import run_chaos
 from .study.plot import plot_experiment
+from .study.repair import verify_and_repair
 from .study.report import render_table
 from .study.resultstore import FAILURES_NAME, write_report
 from .traces.stats import compute_stats
@@ -193,44 +205,70 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     template = _config_from(args)
-    configs = design_space(template)
-    out = Path(args.out) if args.out else None
-    journal_path = out / "sweep.journal.jsonl" if out else None
-    if out:
-        out.mkdir(parents=True, exist_ok=True)
-    run = run_sweep(
-        args.workload,
-        configs,
-        scale=args.scale,
-        keep_going=args.keep_going,
-        timeout_s=args.timeout,
-        retries=args.retries,
-        journal_path=journal_path,
-        resume=args.resume,
-        workers=args.workers,
-    )
-    points = [as_point(value) for value in run.values()]
+    if args.out:
+        run, points = run_sweep_dir(
+            args.out,
+            args.workload,
+            template,
+            scale=args.scale,
+            keep_going=args.keep_going,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            resume=args.resume,
+            workers=args.workers,
+        )
+    else:
+        run = run_sweep(
+            args.workload,
+            design_space(template),
+            scale=args.scale,
+            keep_going=args.keep_going,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            workers=args.workers,
+        )
+        points = [as_point(value) for value in run.values()]
     rows = [(p.label, p.area_rbe, p.tpi_ns, p.levels) for p in points]
     print(render_table(("config", "area_rbe", "tpi_ns", "levels"), rows))
-    if out:
-        tsv = "\n".join(
-            f"{p.label}\t{p.workload}\t{p.area_rbe:.1f}\t{p.tpi_ns:.4f}\t{p.levels}"
-            for p in points
-        )
-        write_text_atomic(out / "sweep.tsv", tsv + "\n" if tsv else "")
-        manifest = out / FAILURES_NAME
-        if run.failed:
-            write_text_atomic(
-                manifest, json.dumps(run.failures_manifest(), indent=2) + "\n"
-            )
-        else:
-            manifest.unlink(missing_ok=True)
     if run.failed:
         if not args.keep_going:
             run.raise_first_failure()
         print(f"{len(run.failed)} design point(s) failed", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    if args.repair:
+        outcome = verify_and_repair(args.directory, workers=args.workers)
+        if args.format == "json":
+            print(json.dumps(outcome.to_record(), indent=2))
+        else:
+            print(outcome.render())
+        return 0 if outcome.clean else 1
+    report = verify_tree(args.directory, repair=False)
+    if args.format == "json":
+        print(json.dumps(report.to_record(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    ids = args.ids.split(",") if args.ids else None
+    result = run_chaos(
+        args.out,
+        seed=args.seed,
+        rounds=args.rounds,
+        ids=ids,
+        scale=args.scale,
+        workers=args.workers,
+    )
+    if args.format == "json":
+        print(json.dumps(result.to_record(), indent=2))
+    else:
+        print(result.render())
+    return 0 if result.converged else 1
 
 
 #: Default lint targets, filtered to those that exist under the cwd.
@@ -365,6 +403,58 @@ def _build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--out", default="", help="directory for journal + sweep.tsv")
     add_runner_args(sw)
     sw.set_defaults(func=_cmd_sweep)
+
+    verify = sub.add_parser(
+        "verify", help="verify artefact integrity under a results tree"
+    )
+    verify.add_argument("directory", help="results tree to verify")
+    verify.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine corrupt artefacts and replay the affected runs "
+        "from their RUN.json recipes",
+    )
+    verify.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    verify.add_argument(
+        "--workers",
+        default=None,
+        metavar="N",
+        help="worker processes for repair re-runs ('auto' = one per CPU)",
+    )
+    verify.set_defaults(func=_cmd_verify)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection soak with convergence check"
+    )
+    chaos.add_argument("--out", required=True, help="soak output directory")
+    chaos.add_argument("--seed", type=int, default=0, help="RNG seed")
+    chaos.add_argument(
+        "--rounds", type=int, default=4, help="faulted report passes (default: 4)"
+    )
+    chaos.add_argument(
+        "--ids", default="", help="comma-separated experiment ids (default: all)"
+    )
+    chaos.add_argument(
+        "--scale", type=float, default=0.05, help="trace scale (default: 0.05)"
+    )
+    chaos.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    chaos.add_argument(
+        "--workers",
+        default=None,
+        metavar="N",
+        help="worker processes for the report passes ('auto' = one per CPU)",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     lint = sub.add_parser(
         "lint", help="run the repro static-analysis checkers"

@@ -98,6 +98,58 @@ class SystemConfig:
         parts.append(f"off-chip {self.off_chip_ns:g}ns")
         return ", ".join(parts)
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation (``RUN.json`` re-run metadata).
+
+        Captures every design-space field; the technology point is not
+        serialised — reconstruction assumes the default 0.5 µm process,
+        which is the only one the CLI exposes.
+        """
+        return {
+            "l1_bytes": self.l1_bytes,
+            "l2_bytes": self.l2_bytes,
+            "l2_associativity": self.l2_associativity,
+            "policy": self.policy.name,
+            "off_chip_ns": self.off_chip_ns,
+            "l1_ports": self.l1_ports,
+            "issue_width": self.issue_width,
+            "line_size": self.line_size,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SystemConfig":
+        """Rebuild a configuration serialised by :meth:`to_dict`."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"malformed config document: expected an object, "
+                f"got {type(payload).__name__}"
+            )
+        try:
+            policy = Policy[str(payload.get("policy", Policy.CONVENTIONAL.name))]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown cache policy {payload.get('policy')!r}"
+            ) from None
+        try:
+            return cls(
+                l1_bytes=int(payload["l1_bytes"]),
+                l2_bytes=int(payload.get("l2_bytes", 0)),
+                l2_associativity=int(payload.get("l2_associativity", 4)),
+                policy=policy,
+                off_chip_ns=float(payload.get("off_chip_ns", 50.0)),
+                l1_ports=int(payload.get("l1_ports", 1)),
+                issue_width=int(payload.get("issue_width", 1)),
+                line_size=int(payload.get("line_size", DEFAULT_LINE_SIZE)),
+            )
+        except KeyError as missing:
+            raise ConfigurationError(
+                f"malformed config document: missing {missing}"
+            ) from None
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                "malformed config document: non-numeric dimension"
+            ) from None
+
     def single_level(self) -> "SystemConfig":
         """This configuration with the second level removed."""
         return replace(self, l2_bytes=0, policy=Policy.CONVENTIONAL)

@@ -14,17 +14,24 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import json
+
 from ..cache.hierarchy import Policy, l1_miss_stream
 from ..errors import RunnerError
 from ..runner import (
     PoolRunner,
+    ResourceWatchdog,
     RetryPolicy,
     RunJournal,
     Runner,
     RunResult,
     RunUnit,
     resolve_workers,
+    untrack,
+    write_manifest,
+    write_text_atomic,
 )
+from ..runner.integrity import RUN_METADATA_NAME
 from ..traces.address import Trace
 from ..traces.store import get_trace
 from ..units import kb
@@ -37,9 +44,18 @@ __all__ = [
     "design_space",
     "sweep",
     "run_sweep",
+    "run_sweep_dir",
     "SweepPoint",
     "as_point",
+    "SWEEP_JOURNAL_NAME",
+    "SWEEP_TABLE_NAME",
+    "SWEEP_FAILURES_NAME",
 ]
+
+#: File names used inside a sweep output directory.
+SWEEP_JOURNAL_NAME = "sweep.journal.jsonl"
+SWEEP_TABLE_NAME = "sweep.tsv"
+SWEEP_FAILURES_NAME = "FAILURES.json"
 
 _MIN_KB = 1
 _MAX_KB = 256
@@ -255,6 +271,7 @@ def run_sweep(
     resume: bool = False,
     workers: Union[None, int, str] = None,
     submit_order: Optional[Sequence[int]] = None,
+    watchdog: Optional[ResourceWatchdog] = None,
 ) -> RunResult:
     """Evaluate configurations through the resilient engine.
 
@@ -298,8 +315,84 @@ def run_sweep(
             initializer=_sweep_worker_init,
             initargs=(workload, scale, l1_shapes),
             submit_order=submit_order,
+            watchdog=watchdog,
         )
     return runner.run(units)
+
+
+def run_sweep_dir(
+    out: Union[str, Path],
+    workload: str,
+    template: SystemConfig,
+    *,
+    scale: Optional[float] = None,
+    keep_going: bool = False,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    resume: bool = False,
+    workers: Union[None, int, str] = None,
+    watchdog: Optional[ResourceWatchdog] = None,
+) -> Tuple[RunResult, List[SweepPoint]]:
+    """Sweep the paper's design space into a managed artefact directory.
+
+    The directory holds everything a later ``repro verify --repair``
+    needs: the sweep table (``sweep.tsv``) and failure manifest with
+    sha256 sidecars, the unit journal, re-run metadata (``RUN.json``)
+    describing how to reproduce the sweep, and a ``MANIFEST.json``
+    binding them together.  ``resume=True`` restores finished points
+    from the journal instead of re-simulating them.
+    """
+    out_dir = Path(out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    guard = watchdog if watchdog is not None else ResourceWatchdog()
+    guard.preflight_disk(out_dir)
+    metadata = {
+        "run": 1,
+        "kind": "sweep",
+        "workload": workload,
+        "scale": scale,
+        "config": template.to_dict(),
+    }
+    write_text_atomic(
+        out_dir / RUN_METADATA_NAME,
+        json.dumps(metadata, sort_keys=True) + "\n",
+        track=True,
+    )
+    configs = design_space(template)
+    result = run_sweep(
+        workload,
+        configs,
+        scale=scale,
+        keep_going=keep_going,
+        timeout_s=timeout_s,
+        retries=retries,
+        journal_path=out_dir / SWEEP_JOURNAL_NAME,
+        resume=resume,
+        workers=workers,
+        watchdog=guard,
+    )
+    points = [as_point(value) for value in result.values()]
+    lines = [
+        f"{p.label}\t{p.workload}\t{p.area_rbe:.1f}\t{p.tpi_ns:.4f}\t{p.levels}"
+        for p in points
+    ]
+    write_text_atomic(
+        out_dir / SWEEP_TABLE_NAME,
+        "\n".join(lines) + "\n" if lines else "",
+        track=True,
+    )
+    failures_path = out_dir / SWEEP_FAILURES_NAME
+    if result.failed:
+        write_text_atomic(
+            failures_path,
+            json.dumps(result.failures_manifest(), indent=2) + "\n",
+            track=True,
+        )
+    else:
+        failures_path.unlink(missing_ok=True)
+        untrack(failures_path)
+    write_manifest(out_dir)
+    return result, points
 
 
 def sweep(

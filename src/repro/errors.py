@@ -16,6 +16,8 @@ __all__ = [
     "ExperimentError",
     "RunnerError",
     "CheckpointError",
+    "IntegrityError",
+    "ResourceError",
     "UnitTimeoutError",
     "LintError",
 ]
@@ -60,6 +62,25 @@ class RunnerError(ReproError):
 
 class CheckpointError(RunnerError):
     """A run journal is corrupt or written by an incompatible version."""
+
+
+class IntegrityError(RunnerError):
+    """An artefact integrity record (manifest or sidecar) is unusable.
+
+    Raised when ``MANIFEST.json`` or a ``.sha256`` sidecar cannot even
+    be interpreted.  A *mismatch* between a healthy record and an
+    artefact is not an error — ``repro verify`` reports it as a finding
+    and ``--repair`` quarantines the artefact.
+    """
+
+
+class ResourceError(RunnerError):
+    """A run was refused or degraded because a resource limit was hit.
+
+    Examples: the output filesystem has less free space than the
+    watchdog's preflight requires, or a worker's RSS high-water mark
+    exceeded the configured ceiling.
+    """
 
 
 class LintError(ReproError):

@@ -6,11 +6,14 @@ Every sweep and report goes through this subsystem.  See
 out over workers with identical guarantees and bit-identical output,
 :mod:`repro.runner.journal` for the crash-safe checkpoint format,
 :mod:`repro.runner.atomic` for torn-write-free artefact persistence,
-and :mod:`repro.runner.faults` for the deterministic fault-injection
-hooks that prove the machinery works.
+:mod:`repro.runner.integrity` for self-verifying artefacts (sha256
+sidecars, per-directory manifests, ``repro verify``),
+:mod:`repro.runner.watchdog` for resource-guarded execution, and
+:mod:`repro.runner.faults` for the deterministic fault-injection hooks
+that prove the machinery works.
 """
 
-from .atomic import atomic_open, write_bytes_atomic, write_text_atomic
+from .atomic import atomic_open, fsync_directory, write_bytes_atomic, write_text_atomic
 from .engine import (
     RetryPolicy,
     Runner,
@@ -22,11 +25,28 @@ from .engine import (
     resume_outcome,
     unit_timeout,
 )
+from .integrity import (
+    MANIFEST_NAME,
+    MANIFEST_SCHEMA,
+    RUN_METADATA_NAME,
+    IntegrityFinding,
+    IntegrityReport,
+    hash_file,
+    matches_sidecar,
+    read_sidecar,
+    tree_fingerprint,
+    untrack,
+    verify_tree,
+    write_manifest,
+    write_sidecar,
+)
 from .journal import JOURNAL_SCHEMA, RunJournal, unit_key
 from .pool import PoolRunner, resolve_workers
+from .watchdog import ResourceWatchdog, WatchdogPolicy, peak_rss_bytes
 
 __all__ = [
     "atomic_open",
+    "fsync_directory",
     "write_text_atomic",
     "write_bytes_atomic",
     "RetryPolicy",
@@ -38,8 +58,24 @@ __all__ = [
     "execute_attempts",
     "resume_outcome",
     "unit_timeout",
+    "MANIFEST_NAME",
+    "MANIFEST_SCHEMA",
+    "RUN_METADATA_NAME",
+    "IntegrityFinding",
+    "IntegrityReport",
+    "hash_file",
+    "matches_sidecar",
+    "read_sidecar",
+    "tree_fingerprint",
+    "untrack",
+    "verify_tree",
+    "write_manifest",
+    "write_sidecar",
     "PoolRunner",
     "resolve_workers",
+    "ResourceWatchdog",
+    "WatchdogPolicy",
+    "peak_rss_bytes",
     "JOURNAL_SCHEMA",
     "RunJournal",
     "unit_key",

@@ -251,8 +251,11 @@ def execute_attempts(
         attempts += 1
         try:
             with unit_timeout(timeout_s, force_deadline=force_deadline):
-                faults.before_unit(unit.unit_id)
-                value = unit.run()
+                # The scope lets write-path fault hooks (and any future
+                # per-write bookkeeping) attribute writes to this unit.
+                with faults.unit_scope(unit.unit_id):
+                    faults.before_unit(unit.unit_id)
+                    value = unit.run()
         except Exception as error:
             elapsed = time.monotonic() - started
             transient = not isinstance(error, UnitTimeoutError)

@@ -1,20 +1,35 @@
 """Deterministic fault injection for exercising the execution engine.
 
-The robustness machinery (isolation, retries, timeouts, resume) is only
-trustworthy if it can be *demonstrated*, so the engine consults this
-module before every unit attempt and the report writer after every
-artefact write.  Faults are configured either programmatically
+The robustness machinery (isolation, retries, timeouts, resume,
+integrity verification) is only trustworthy if it can be
+*demonstrated*, so the engine consults this module before every unit
+attempt, the atomic write path mid-write, and the report writer after
+every artefact write.  Faults are configured either programmatically
 (:func:`install`) or through the ``REPRO_FAULTS`` environment variable,
-and fire deterministically on named units — no randomness, so tests and
-CI smoke runs reproduce exactly.
+and fire deterministically on named units — no randomness, so tests,
+CI smoke runs, and the seeded chaos harness reproduce exactly.
 
 Specification grammar (comma-separated, e.g.
 ``REPRO_FAULTS="fail=fig5:2,delay=fig7:0.5"``)::
 
-    fail=<unit>[:<times>]    raise InjectedFault on <unit>, <times> attempts
-    crash=<unit>             raise InjectedCrash before <unit> (simulated kill)
-    delay=<unit>[:<seconds>] sleep before running <unit>
-    corrupt=<unit>           truncate <unit>'s written artefact (torn write)
+    fail=<unit>[:<times>]     raise InjectedFault on <unit>, <times> attempts
+    crash=<unit>              raise InjectedCrash before <unit> (simulated kill)
+    delay=<unit>[:<seconds>]  sleep before running <unit>
+    corrupt=<unit>            truncate <unit>'s written artefact (torn write)
+    bitflip=<unit>[:<offset>] XOR one bit into <unit>'s artefact (bit rot)
+    partial=<unit>[:<bytes>]  keep only <bytes> bytes of <unit>'s artefact
+    enospc=<unit>[:<times>]   fail <unit>'s artefact writes with ENOSPC
+    killworker=<unit>         hard-kill the pool worker running <unit>
+
+``corrupt``/``bitflip``/``partial`` emulate damage that *bypassed* the
+atomic-rename discipline (a torn write, silent media bit rot), so
+resume-time artefact validation and ``repro verify`` can be tested.
+``enospc`` fires inside :func:`~repro.runner.atomic.atomic_open` for
+writes issued while the named unit is executing, surfacing as the
+retryable ``CheckpointError`` the real condition produces.
+``killworker`` terminates the *worker process* with ``os._exit`` — the
+parent sees a broken pool, exactly like an OOM kill; outside a pool
+worker it is a no-op (there is no worker to kill).
 
 Unit ids may themselves contain colons (sweep units look like
 ``0007:8:64``): the optional argument is split off at the *last* colon,
@@ -24,11 +39,14 @@ so a colon-bearing unit id must spell the argument out explicitly
 
 from __future__ import annotations
 
+import errno
+import multiprocessing
 import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from ..errors import ReproError, RunnerError
 
@@ -42,6 +60,10 @@ __all__ = [
     "clear",
     "active_plan",
     "before_unit",
+    "unit_scope",
+    "current_unit",
+    "check_write",
+    "damage_artifact",
     "maybe_corrupt_file",
 ]
 
@@ -72,10 +94,18 @@ class FaultPlan:
     delay_unit: Optional[str] = None
     delay_s: float = 1.0
     corrupt_unit: Optional[str] = None
+    bitflip_unit: Optional[str] = None
+    bitflip_offset: Optional[int] = None
+    partial_unit: Optional[str] = None
+    partial_bytes: Optional[int] = None
+    enospc_unit: Optional[str] = None
+    enospc_times: int = 1
+    killworker_unit: Optional[str] = None
 
 
 _installed: Optional[FaultPlan] = None
-_fail_counts: Dict[str, int] = {}
+_fire_counts: Dict[Tuple[str, str], int] = {}
+_current_unit: Optional[str] = None
 
 
 def parse_plan(spec: str) -> FaultPlan:
@@ -102,9 +132,28 @@ def parse_plan(spec: str) -> FaultPlan:
                 plan = replace(plan, delay_unit=unit, delay_s=float(arg) if arg else 1.0)
             elif key == "corrupt":
                 plan = replace(plan, corrupt_unit=value)
+            elif key == "bitflip":
+                plan = replace(
+                    plan,
+                    bitflip_unit=unit,
+                    bitflip_offset=int(arg) if arg else None,
+                )
+            elif key == "partial":
+                plan = replace(
+                    plan,
+                    partial_unit=unit,
+                    partial_bytes=int(arg) if arg else None,
+                )
+            elif key == "enospc":
+                plan = replace(
+                    plan, enospc_unit=unit, enospc_times=int(arg) if arg else 1
+                )
+            elif key == "killworker":
+                plan = replace(plan, killworker_unit=value)
             else:
                 raise RunnerError(
-                    f"unknown fault kind {key!r}; expected fail/crash/delay/corrupt"
+                    f"unknown fault kind {key!r}; expected fail/crash/delay/corrupt/"
+                    f"bitflip/partial/enospc/killworker"
                 )
         except ValueError:
             raise RunnerError(f"bad fault argument in {part!r}") from None
@@ -115,11 +164,11 @@ def install(plan: Optional[FaultPlan]) -> None:
     """Activate ``plan`` for the current process (None deactivates)."""
     global _installed
     _installed = plan
-    _fail_counts.clear()
+    _fire_counts.clear()
 
 
 def clear() -> None:
-    """Remove any installed plan and reset fail counters."""
+    """Remove any installed plan and reset fire counters."""
     install(None)
 
 
@@ -131,35 +180,108 @@ def active_plan() -> Optional[FaultPlan]:
     return parse_plan(spec) if spec else None
 
 
+def _fires(kind: str, unit_id: str, limit: int) -> bool:
+    """Count one firing of ``kind`` on ``unit_id``; True while under limit."""
+    count = _fire_counts.get((kind, unit_id), 0)
+    if count >= limit:
+        return False
+    _fire_counts[(kind, unit_id)] = count + 1
+    return True
+
+
+@contextmanager
+def unit_scope(unit_id: str) -> Iterator[None]:
+    """Mark ``unit_id`` as the unit currently executing in this process.
+
+    Write-path hooks (:func:`check_write`) fire on the *current* unit,
+    since the atomic write layer has no unit identity of its own.
+    """
+    global _current_unit
+    previous = _current_unit
+    _current_unit = unit_id
+    try:
+        yield
+    finally:
+        _current_unit = previous
+
+
+def current_unit() -> Optional[str]:
+    """The unit id currently executing in this process, if any."""
+    return _current_unit
+
+
 def before_unit(unit_id: str) -> None:
     """Fault hook called by the engine before each unit attempt."""
     plan = active_plan()
     if plan is None:
         return
+    if plan.killworker_unit == unit_id and _fires("killworker", unit_id, 1):
+        if multiprocessing.parent_process() is not None:
+            # A hard worker death: no exception, no cleanup, no reply —
+            # the parent observes a broken pool, as with a real OOM kill.
+            os._exit(86)
+        # No worker to kill in the main process; the fault is a no-op so
+        # a degraded-to-serial rerun of the same unit can complete.
     if plan.crash_unit == unit_id:
         raise InjectedCrash(f"injected crash before unit {unit_id}")
     if plan.delay_unit == unit_id and plan.delay_s > 0:
         time.sleep(plan.delay_s)
-    if plan.fail_unit == unit_id:
-        count = _fail_counts.get(unit_id, 0)
-        if count < plan.fail_times:
-            _fail_counts[unit_id] = count + 1
-            raise InjectedFault(
-                f"injected fault on unit {unit_id} "
-                f"(failure {count + 1} of {plan.fail_times})"
-            )
+    if plan.fail_unit == unit_id and _fires("fail", unit_id, plan.fail_times):
+        count = _fire_counts[("fail", unit_id)]
+        raise InjectedFault(
+            f"injected fault on unit {unit_id} "
+            f"(failure {count} of {plan.fail_times})"
+        )
 
 
-def maybe_corrupt_file(unit_id: str, path: Union[str, Path]) -> None:
-    """Truncate ``path`` if the plan corrupts ``unit_id``'s output.
+def check_write(path: Union[str, Path]) -> None:
+    """Write hook called by the atomic layer before committing ``path``.
 
-    Emulates a torn write that bypassed the atomic-rename discipline,
-    so resume-time artefact validation can be tested.
+    Raises ``OSError(ENOSPC)`` — which :func:`atomic_open` converts to
+    the retryable ``CheckpointError`` a real full disk produces — when
+    the plan exhausts disk space for the unit currently executing.
     """
     plan = active_plan()
-    if plan is None or plan.corrupt_unit != unit_id:
+    unit_id = _current_unit
+    if plan is None or unit_id is None or plan.enospc_unit != unit_id:
+        return
+    if _fires("enospc", unit_id, plan.enospc_times):
+        raise OSError(errno.ENOSPC, "injected: no space left on device", str(path))
+
+
+def damage_artifact(unit_id: str, path: Union[str, Path]) -> None:
+    """Damage ``path`` if the plan corrupts ``unit_id``'s output.
+
+    Emulates corruption that bypassed the atomic-rename discipline —
+    a torn write (``corrupt``), silent bit rot (``bitflip``), or a
+    truncated artefact (``partial``) — so resume-time validation and
+    ``repro verify`` can be tested against every corruption class.
+    """
+    plan = active_plan()
+    if plan is None:
         return
     path = Path(path)
-    data = path.read_bytes()
-    # repro: lint-ok[REP001] deliberately tears the artefact; bypassing the atomic-rename discipline is the point of this fault
-    path.write_bytes(data[: len(data) // 2])
+    if plan.corrupt_unit == unit_id:
+        data = path.read_bytes()
+        # repro: lint-ok[REP001] deliberately tears the artefact; bypassing the atomic-rename discipline is the point of this fault
+        path.write_bytes(data[: len(data) // 2])
+    if plan.bitflip_unit == unit_id:
+        data = bytearray(path.read_bytes())
+        if data:
+            offset = plan.bitflip_offset
+            if offset is None or not 0 <= offset < len(data):
+                offset = len(data) // 2
+            data[offset] ^= 0x01
+            # repro: lint-ok[REP001] deliberately injects silent bit rot behind the atomic layer's back; detecting it is the manifest's job
+            path.write_bytes(bytes(data))
+    if plan.partial_unit == unit_id:
+        data = path.read_bytes()
+        keep = plan.partial_bytes
+        if keep is None or keep < 0:
+            keep = len(data) // 2
+        # repro: lint-ok[REP001] deliberately truncates the artefact to a prefix, emulating a short write that dodged fsync
+        path.write_bytes(data[:keep])
+
+
+#: Backwards-compatible alias: the original hook only knew ``corrupt``.
+maybe_corrupt_file = damage_artifact

@@ -1,0 +1,585 @@
+"""End-to-end artefact integrity: sha256 sidecars, manifests, verification.
+
+A silently bit-rotted result JSON skews a TPI-vs-area envelope with no
+error anywhere, so every artefact the library persists can be
+*self-verifying*:
+
+* each tracked artefact gets a **sidecar** — ``<name>.sha256`` next to
+  it, in ``sha256sum`` format — written immediately after the atomic
+  rename (:func:`~repro.runner.atomic.atomic_open` with ``track=True``);
+* each managed directory gets a **manifest** — ``MANIFEST.json``
+  collecting the sidecar digests of every artefact in that directory —
+  rebuilt at the end of a run from the sidecars (never by re-hashing,
+  so a post-write corruption cannot be blessed into the manifest);
+* :func:`verify_tree` walks a results tree, re-hashes every artefact,
+  and cross-checks file, sidecar, and manifest.  With ``repair=True``
+  corrupt artefacts are moved to a ``quarantine/`` sub-directory (the
+  resume path then re-runs exactly the affected units) while stale
+  integrity records are rewritten in place.
+
+Append-mutable files — run journals, whose contents legitimately change
+on every append — are *volatile*: the manifest lists them by name only,
+their sidecar tracks the latest flush, and verification never
+quarantines them (the journal format self-validates on load).  This
+keeps the manifest itself byte-deterministic across equivalent runs,
+which is what the chaos soak's byte-identical convergence check relies
+on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..errors import IntegrityError
+from .atomic import write_text_atomic
+
+__all__ = [
+    "MANIFEST_NAME",
+    "MANIFEST_SCHEMA",
+    "SIDECAR_SUFFIX",
+    "QUARANTINE_DIR",
+    "RUN_METADATA_NAME",
+    "hash_file",
+    "write_sidecar",
+    "read_sidecar",
+    "matches_sidecar",
+    "untrack",
+    "is_volatile",
+    "write_manifest",
+    "load_manifest",
+    "IntegrityFinding",
+    "IntegrityReport",
+    "verify_tree",
+    "tree_fingerprint",
+]
+
+#: Per-directory manifest file name and its format version.
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_SCHEMA = 1
+
+#: Suffix of the per-artefact digest sidecar (``sha256sum`` format).
+SIDECAR_SUFFIX = ".sha256"
+
+#: Sub-directory corrupt artefacts are moved into by ``--repair``.
+QUARANTINE_DIR = "quarantine"
+
+#: Re-run metadata written by ``write_report`` / ``run_sweep_dir`` so
+#: ``repro verify --repair`` can re-execute the affected units.
+RUN_METADATA_NAME = "RUN.json"
+
+_CHUNK = 1 << 20
+
+
+def hash_file(path: Union[str, Path]) -> str:
+    """The sha256 hex digest of ``path``'s current contents."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _sidecar_path(path: Path) -> Path:
+    return path.with_name(path.name + SIDECAR_SUFFIX)
+
+
+def write_sidecar(path: Union[str, Path]) -> str:
+    """Hash ``path`` and persist the digest to its ``.sha256`` sidecar.
+
+    The sidecar uses ``sha256sum`` format (``<hex>  <name>``), so a
+    tree is independently checkable with coreutils.  Returns the
+    digest.
+    """
+    path = Path(path)
+    digest = hash_file(path)
+    write_text_atomic(_sidecar_path(path), f"{digest}  {path.name}\n")
+    return digest
+
+
+def read_sidecar(path: Union[str, Path]) -> Optional[str]:
+    """The digest recorded for ``path``, or None without a sidecar.
+
+    Raises
+    ------
+    IntegrityError
+        If a sidecar exists but is not byte-for-byte in the canonical
+        ``sha256sum`` form (``<hex>  <name>\\n``).  Full-content
+        strictness matters: a bit flip in the *name* field would leave
+        the digest parsable and the artefact verifiable, yet silently
+        diverge the byte-level tree fingerprint — so any deviation is
+        corruption, and repair rewrites the canonical form.
+    """
+    path = Path(path)
+    sidecar = _sidecar_path(path)
+    if not sidecar.exists():
+        return None
+    try:
+        raw = sidecar.read_text()
+    except UnicodeDecodeError:
+        raise IntegrityError(
+            f"{sidecar}: corrupt sha256 sidecar (not valid text)"
+        ) from None
+    digest = raw.split()[0] if raw.strip() else ""
+    if len(digest) != 64 or any(c not in "0123456789abcdef" for c in digest):
+        raise IntegrityError(f"{sidecar}: corrupt sha256 sidecar: {raw.strip()[:40]!r}")
+    if raw != f"{digest}  {path.name}\n":
+        raise IntegrityError(
+            f"{sidecar}: sidecar deviates from canonical sha256sum form"
+        )
+    return digest
+
+
+def matches_sidecar(path: Union[str, Path]) -> bool:
+    """True when ``path`` matches its sidecar (or has no sidecar).
+
+    A missing sidecar is a pass — artefacts written before integrity
+    tracking existed stay resumable — while a corrupt sidecar fails,
+    forcing the owning unit to re-run and rewrite both.
+    """
+    path = Path(path)
+    try:
+        expected = read_sidecar(path)
+    except IntegrityError:
+        return False
+    if expected is None:
+        return True
+    try:
+        return hash_file(path) == expected
+    except OSError:
+        return False
+
+
+def untrack(path: Union[str, Path]) -> None:
+    """Remove ``path``'s sidecar (for artefacts that were deleted)."""
+    _sidecar_path(Path(path)).unlink(missing_ok=True)
+
+
+def is_volatile(name: str) -> bool:
+    """True for artefacts whose bytes legitimately differ between runs.
+
+    Run journals carry wall-clock ``elapsed_s`` and attempt counts, so
+    two byte-equivalent runs still produce different journals; they are
+    tracked by existence + sidecar, never by a manifest digest.
+    """
+    return name == "journal.jsonl" or name.endswith(".journal.jsonl")
+
+
+def _is_integrity_name(name: str) -> bool:
+    return name == MANIFEST_NAME or name.endswith(SIDECAR_SUFFIX) or name.endswith(".tmp")
+
+
+def write_manifest(directory: Union[str, Path]) -> dict:
+    """Rebuild ``directory``'s ``MANIFEST.json`` from its sidecars.
+
+    Entries come from the sidecar digests recorded at artefact-write
+    time — deliberately *not* from re-hashing the files, so corruption
+    that happened after the write cannot be blessed into the manifest.
+    Volatile artefacts (journals) are listed by name without a digest.
+    """
+    directory = Path(directory)
+    artifacts: Dict[str, dict] = {}
+    volatile: List[str] = []
+    for sidecar in sorted(directory.glob("*" + SIDECAR_SUFFIX)):
+        name = sidecar.name[: -len(SIDECAR_SUFFIX)]
+        target = directory / name
+        if _is_integrity_name(name) or not target.exists():
+            continue
+        if is_volatile(name):
+            volatile.append(name)
+            continue
+        digest = read_sidecar(target)
+        if digest is None:  # pragma: no cover - sidecar raced away
+            continue
+        artifacts[name] = {"sha256": digest, "size": target.stat().st_size}
+    payload = {
+        "manifest": MANIFEST_SCHEMA,
+        "artifacts": artifacts,
+        "volatile": sorted(volatile),
+    }
+    write_text_atomic(
+        directory / MANIFEST_NAME,
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+    )
+    return payload
+
+
+def load_manifest(directory: Union[str, Path]) -> Optional[dict]:
+    """Parse ``directory``'s manifest; None when absent.
+
+    Raises
+    ------
+    IntegrityError
+        If the manifest exists but is unparsable or malformed.
+    """
+    path = Path(directory) / MANIFEST_NAME
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        raise IntegrityError(f"{path}: corrupt manifest (not valid JSON)") from None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("manifest") != MANIFEST_SCHEMA
+        or not isinstance(payload.get("artifacts"), dict)
+        or not isinstance(payload.get("volatile"), list)
+    ):
+        raise IntegrityError(f"{path}: malformed manifest document")
+    return payload
+
+
+@dataclass(frozen=True)
+class IntegrityFinding:
+    """One verification problem at one artefact (or integrity record).
+
+    ``kind`` is one of ``corrupt-artifact``, ``missing-artifact``,
+    ``stale-sidecar``, ``corrupt-sidecar``, ``stale-manifest``,
+    ``corrupt-manifest``.  ``action`` records what ``repair=True`` did:
+    ``quarantined``, ``rewrote-sidecar``, ``rewrote-manifest``,
+    ``dropped-entry``, or ``""`` when nothing was repaired.
+    """
+
+    path: str
+    kind: str
+    detail: str
+    action: str = ""
+
+    def to_record(self) -> Dict[str, str]:
+        return {
+            "path": self.path,
+            "kind": self.kind,
+            "detail": self.detail,
+            "action": self.action,
+        }
+
+
+@dataclass(frozen=True)
+class IntegrityReport:
+    """Outcome of one :func:`verify_tree` walk."""
+
+    root: str
+    findings: Tuple[IntegrityFinding, ...]
+    n_artifacts: int
+    n_directories: int
+    repaired: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def corrupt(self) -> List[IntegrityFinding]:
+        return [
+            f
+            for f in self.findings
+            if f.kind in ("corrupt-artifact", "missing-artifact")
+        ]
+
+    def to_record(self) -> dict:
+        return {
+            "schema": 1,
+            "root": self.root,
+            "clean": self.clean,
+            "n_artifacts": self.n_artifacts,
+            "n_directories": self.n_directories,
+            "repaired": self.repaired,
+            "findings": [f.to_record() for f in self.findings],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"verified {self.n_artifacts} artefact(s) in "
+            f"{self.n_directories} director{'y' if self.n_directories == 1 else 'ies'} "
+            f"under {self.root}"
+        ]
+        for finding in self.findings:
+            suffix = f" [{finding.action}]" if finding.action else ""
+            lines.append(
+                f"  {finding.kind}: {finding.path}: {finding.detail}{suffix}"
+            )
+        lines.append("clean" if self.clean else f"{len(self.findings)} problem(s)")
+        return "\n".join(lines)
+
+
+def _managed_directories(root: Path) -> Iterator[Path]:
+    """Directories under ``root`` carrying integrity records."""
+    if not root.is_dir():
+        raise IntegrityError(f"{root}: not a directory")
+    for directory in sorted([root, *[p for p in root.rglob("*") if p.is_dir()]]):
+        if QUARANTINE_DIR in directory.relative_to(root).parts:
+            continue
+        has_records = (directory / MANIFEST_NAME).exists() or any(
+            directory.glob("*" + SIDECAR_SUFFIX)
+        )
+        if has_records:
+            yield directory
+
+
+def _quarantine(directory: Path, name: str) -> str:
+    """Move ``directory/name`` into the quarantine sub-directory."""
+    corral = directory / QUARANTINE_DIR
+    corral.mkdir(parents=True, exist_ok=True)
+    target = corral / name
+    serial = 0
+    while target.exists():
+        serial += 1
+        target = corral / f"{name}.{serial}"
+    os.replace(directory / name, target)
+    return f"{QUARANTINE_DIR}/{target.name}"
+
+
+def _try_hash(path: Path) -> Optional[str]:
+    try:
+        return hash_file(path)
+    except OSError:
+        return None
+
+
+def verify_tree(root: Union[str, Path], repair: bool = False) -> IntegrityReport:
+    """Re-hash every tracked artefact under ``root`` and cross-check.
+
+    For each artefact the file's current digest is compared against its
+    sidecar and its manifest entry; the two records arbitrate:
+
+    * file ≠ records (records agree, or only one exists) — the artefact
+      is **corrupt**; ``repair`` quarantines it so the resume path
+      re-runs its unit;
+    * file matches one record but not the other — the odd record is
+      **stale**; ``repair`` rewrites it from the file;
+    * unparsable manifest / sidecar — reported; ``repair`` rebuilds the
+      manifest from sidecars and rewrites sidecars from files that
+      still match the manifest.
+
+    Volatile artefacts (journals) are checked for existence and sidecar
+    freshness only and are never quarantined — the journal format
+    validates itself on load.
+    """
+    root = Path(root)
+    findings: List[IntegrityFinding] = []
+    n_artifacts = 0
+    n_directories = 0
+    for directory in _managed_directories(root):
+        n_directories += 1
+        findings_here, n_here = _verify_directory(root, directory, repair)
+        findings.extend(findings_here)
+        n_artifacts += n_here
+        if repair and any(f.action for f in findings_here):
+            write_manifest(directory)
+    return IntegrityReport(
+        root=str(root),
+        findings=tuple(findings),
+        n_artifacts=n_artifacts,
+        n_directories=n_directories,
+        repaired=repair,
+    )
+
+
+def _verify_directory(
+    root: Path, directory: Path, repair: bool
+) -> Tuple[List[IntegrityFinding], int]:
+    findings: List[IntegrityFinding] = []
+    manifest_entries: Dict[str, str] = {}
+    manifest_volatile: List[str] = []
+    try:
+        manifest = load_manifest(directory)
+    except IntegrityError as error:
+        manifest = None
+        findings.append(
+            IntegrityFinding(
+                path=str(directory / MANIFEST_NAME),
+                kind="corrupt-manifest",
+                detail=str(error),
+                action="rewrote-manifest" if repair else "",
+            )
+        )
+    if manifest is not None:
+        for name, entry in manifest["artifacts"].items():
+            digest = entry.get("sha256") if isinstance(entry, dict) else None
+            manifest_entries[name] = str(digest).lower() if digest else ""
+        manifest_volatile = [str(name) for name in manifest["volatile"]]
+
+    sidecar_names = {
+        sidecar.name[: -len(SIDECAR_SUFFIX)]
+        for sidecar in directory.glob("*" + SIDECAR_SUFFIX)
+    }
+    names = sorted(
+        (set(manifest_entries) | set(manifest_volatile) | sidecar_names)
+        - {name for name in sidecar_names if _is_integrity_name(name)}
+    )
+    n_artifacts = 0
+    for name in names:
+        path = directory / name
+        rel = str(path.relative_to(root)) if path != root else name
+        n_artifacts += 1
+        if is_volatile(name):
+            findings.extend(_verify_volatile(path, rel, repair))
+            continue
+        findings.extend(
+            _verify_artifact(
+                directory, path, rel, manifest_entries.get(name), repair
+            )
+        )
+    return findings, n_artifacts
+
+
+def _verify_volatile(path: Path, rel: str, repair: bool) -> List[IntegrityFinding]:
+    if not path.exists():
+        untrack(path)
+        return [
+            IntegrityFinding(
+                path=rel,
+                kind="missing-artifact",
+                detail="volatile artefact (journal) is gone",
+                action="dropped-entry" if repair else "",
+            )
+        ]
+    try:
+        expected = read_sidecar(path)
+    except IntegrityError:
+        expected = ""
+    if expected is not None and _try_hash(path) != expected:
+        # A crash between a journal flush and its sidecar write leaves
+        # the sidecar stale; the journal self-validates on load, so the
+        # record — not the artefact — is what gets repaired.
+        if repair:
+            write_sidecar(path)
+        return [
+            IntegrityFinding(
+                path=rel,
+                kind="stale-sidecar",
+                detail="volatile artefact moved past its sidecar",
+                action="rewrote-sidecar" if repair else "",
+            )
+        ]
+    return []
+
+
+def _verify_artifact(
+    directory: Path,
+    path: Path,
+    rel: str,
+    manifest_digest: Optional[str],
+    repair: bool,
+) -> List[IntegrityFinding]:
+    sidecar_corrupt = False
+    try:
+        sidecar_digest = read_sidecar(path)
+    except IntegrityError:
+        sidecar_digest = None
+        sidecar_corrupt = True
+    if not path.exists():
+        if repair:
+            untrack(path)
+        return [
+            IntegrityFinding(
+                path=rel,
+                kind="missing-artifact",
+                detail="artefact listed in integrity records is gone",
+                action="dropped-entry" if repair else "",
+            )
+        ]
+    actual = _try_hash(path)
+    records = [d for d in (manifest_digest, sidecar_digest) if d]
+
+    if actual is not None and records and actual in records:
+        findings: List[IntegrityFinding] = []
+        if sidecar_corrupt or (sidecar_digest and sidecar_digest != actual):
+            if repair:
+                write_sidecar(path)
+            findings.append(
+                IntegrityFinding(
+                    path=rel,
+                    kind="corrupt-sidecar" if sidecar_corrupt else "stale-sidecar",
+                    detail="sidecar disagrees with artefact and manifest",
+                    action="rewrote-sidecar" if repair else "",
+                )
+            )
+        elif sidecar_digest is None and not sidecar_corrupt:
+            if repair:
+                write_sidecar(path)
+            findings.append(
+                IntegrityFinding(
+                    path=rel,
+                    kind="stale-sidecar",
+                    detail="artefact has a manifest entry but no sidecar",
+                    action="rewrote-sidecar" if repair else "",
+                )
+            )
+        if manifest_digest and manifest_digest != actual:
+            findings.append(
+                IntegrityFinding(
+                    path=rel,
+                    kind="stale-manifest",
+                    detail="manifest entry disagrees with artefact and sidecar",
+                    action="rewrote-manifest" if repair else "",
+                )
+            )
+        return findings
+
+    if not records:
+        # Sidecar unreadable and no manifest entry: the artefact cannot
+        # be vouched for; rewrite the record from the file (the unit
+        # that produced it validated the content when it wrote it).
+        if repair:
+            write_sidecar(path)
+        return [
+            IntegrityFinding(
+                path=rel,
+                kind="corrupt-sidecar",
+                detail="sidecar unreadable and no manifest entry to arbitrate",
+                action="rewrote-sidecar" if repair else "",
+            )
+        ]
+
+    action = ""
+    if repair:
+        untrack(path)
+        action = f"quarantined -> {_quarantine(directory, path.name)}"
+    expected = " / ".join(sorted(set(records)))
+    return [
+        IntegrityFinding(
+            path=rel,
+            kind="corrupt-artifact",
+            detail=(
+                f"sha256 {actual or 'unreadable'} does not match recorded "
+                f"{expected[:16]}…"
+            ),
+            action=action,
+        )
+    ]
+
+
+def tree_fingerprint(root: Union[str, Path]) -> Dict[str, str]:
+    """Relative path → sha256 for every *deterministic* file under ``root``.
+
+    Volatile artefacts (journals) and their sidecars, quarantined
+    corpses, and in-flight ``.tmp`` files are excluded; everything else
+    — results, reports, indexes, run metadata, manifests, and the
+    sidecars of deterministic artefacts — participates.  Two runs of
+    the same configuration must produce identical fingerprints, which
+    is the chaos soak's convergence criterion.
+    """
+    root = Path(root)
+    fingerprint: Dict[str, str] = {}
+    for path in sorted(root.rglob("*")):
+        if not path.is_file():
+            continue
+        rel_parts = path.relative_to(root).parts
+        if QUARANTINE_DIR in rel_parts:
+            continue
+        name = path.name
+        if name.endswith(".tmp"):
+            continue
+        base = name[: -len(SIDECAR_SUFFIX)] if name.endswith(SIDECAR_SUFFIX) else name
+        if is_volatile(base):
+            continue
+        fingerprint["/".join(rel_parts)] = hash_file(path)
+    return fingerprint

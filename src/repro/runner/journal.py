@@ -103,7 +103,10 @@ class RunJournal:
     def _flush(self) -> None:
         lines = [json.dumps({"journal": JOURNAL_SCHEMA})]
         lines += [json.dumps(entry, sort_keys=True) for entry in self._entries]
-        write_text_atomic(self.path, "\n".join(lines) + "\n")
+        # Tracked as a *volatile* artefact: the sidecar follows every
+        # flush, while the manifest lists the journal by name only (its
+        # bytes legitimately differ between equivalent runs).
+        write_text_atomic(self.path, "\n".join(lines) + "\n", track=True)
 
     def record(
         self,

@@ -64,6 +64,7 @@ from .engine import (
     resume_outcome,
 )
 from .journal import RunJournal
+from .watchdog import ResourceWatchdog, peak_rss_bytes
 
 __all__ = ["PoolRunner", "resolve_workers"]
 
@@ -131,6 +132,7 @@ def _execute_task(task: _WorkerTask) -> dict:
         "value": None,
         "has_value": False,
         "exception": None,
+        "rss_bytes": peak_rss_bytes(),
     }
     if outcome.status == "ok":
         if task.to_record is not None:
@@ -180,6 +182,15 @@ class PoolRunner:
     mp_context:
         Optional :mod:`multiprocessing` context (e.g. the ``fork``
         context when workers must inherit parent state).
+    watchdog:
+        Optional :class:`~repro.runner.watchdog.ResourceWatchdog`.
+        When set, the journal directory gets a disk-space preflight,
+        and memory pressure degrades the run instead of killing it: a
+        worker reply whose peak RSS breaches the policy ceiling sheds
+        the queued work back to the parent (which finishes it
+        serially), and a worker that dies outright (OOM kill) likewise
+        falls back to serial execution instead of raising.  After a
+        degraded run :attr:`degraded_reason` records why.
     """
 
     def __init__(
@@ -193,6 +204,7 @@ class PoolRunner:
         initargs: Tuple[Any, ...] = (),
         submit_order: Optional[Sequence[int]] = None,
         mp_context: Any = None,
+        watchdog: Optional[ResourceWatchdog] = None,
     ):
         if workers < 1:
             raise RunnerError(f"PoolRunner needs at least one worker, got {workers}")
@@ -205,12 +217,18 @@ class PoolRunner:
         self.initargs = initargs
         self.submit_order = submit_order
         self.mp_context = mp_context
+        self.watchdog = watchdog
+        #: Why the last run shed its workers, or None if it never did.
+        self.degraded_reason: Optional[str] = None
 
     def run(self, units: Sequence[RunUnit]) -> RunResult:
         units = list(units)
         unit_ids = [unit.unit_id for unit in units]
         if len(set(unit_ids)) != len(unit_ids):
             raise RunnerError("duplicate unit ids in one parallel run")
+        self.degraded_reason = None
+        if self.watchdog is not None and self.journal is not None:
+            self.watchdog.preflight_disk(self.journal.path.parent)
         outcomes: Dict[str, UnitOutcome] = {}
         pending: List[RunUnit] = []
         for unit in units:
@@ -245,12 +263,44 @@ class PoolRunner:
     def _run_pool(
         self, pending: Sequence[RunUnit], outcomes: Dict[str, UnitOutcome]
     ) -> None:
+        pending = list(pending)
+        stopping = self._drive_pool(pending, outcomes)
+        if self.degraded_reason is None or stopping:
+            return
+        # Degradation ladder, final rung before --resume: the pool was
+        # shed (RSS ceiling) or broke (worker death); finish the units
+        # that never produced an outcome serially in the parent, with
+        # the same retry/timeout/journal semantics workers had.
+        for unit in pending:
+            if unit.unit_id in outcomes:
+                continue
+            outcome = execute_attempts(
+                unit, retry=self.retry, timeout_s=self.timeout_s
+            )
+            stored = None
+            if outcome.status == "ok" and unit.to_record is not None:
+                stored = unit.to_record(outcome.value)
+            outcomes[unit.unit_id] = outcome
+            self._journal_outcome(unit, outcome, stored)
+            if outcome.status == "failed" and not self.keep_going:
+                break
+
+    def _drive_pool(
+        self, pending: Sequence[RunUnit], outcomes: Dict[str, UnitOutcome]
+    ) -> bool:
+        """Fan ``pending`` out over the pool; True if a failure stopped it.
+
+        Sets :attr:`degraded_reason` (leaving the un-finished units
+        without outcomes) when the watchdog sheds the pool or a worker
+        dies with a watchdog installed.
+        """
         executor = ProcessPoolExecutor(
             max_workers=min(self.workers, len(pending)),
             mp_context=self.mp_context,
             initializer=self.initializer,
             initargs=self.initargs,
         )
+        stopping = False
         try:
             futures = {
                 executor.submit(
@@ -267,7 +317,6 @@ class PoolRunner:
                 for unit in self._submission(pending)
             }
             submitted = {future: index for index, future in enumerate(futures)}
-            stopping = False
             not_done = set(futures)
             while not_done:
                 done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
@@ -283,11 +332,23 @@ class PoolRunner:
                     crash = future.exception()
                     if crash is not None:
                         if isinstance(crash, BrokenProcessPool):
-                            raise RunnerError(
-                                "worker pool broke (a worker died without "
-                                "reporting); completed units are journalled — "
-                                "re-run with --resume"
-                            ) from crash
+                            if self.watchdog is None:
+                                raise RunnerError(
+                                    "worker pool broke (a worker died without "
+                                    "reporting); completed units are journalled — "
+                                    "re-run with --resume"
+                                ) from crash
+                            # Watchdog ladder: a dead worker (OOM kill)
+                            # degrades to serial instead of aborting.
+                            # Every in-flight future fails with the same
+                            # BrokenProcessPool; their units simply stay
+                            # outcome-less for the serial fallback.
+                            if self.degraded_reason is None:
+                                self.degraded_reason = (
+                                    f"worker died without reporting ({crash}); "
+                                    f"finishing remaining units serially"
+                                )
+                            continue
                         if not isinstance(crash, Exception):
                             # A simulated (or real) kill: abandon
                             # everything in flight, journal untouched
@@ -307,6 +368,21 @@ class PoolRunner:
                         reply = future.result()
                         outcome = self._outcome_from_reply(unit, reply)
                         stored = reply["result"]
+                        if (
+                            self.watchdog is not None
+                            and self.degraded_reason is None
+                            and self.watchdog.over_rss(reply.get("rss_bytes"))
+                        ):
+                            # Shed: cancel what has not started (running
+                            # units drain normally and are journalled);
+                            # cancelled units fall to the serial rung.
+                            self.degraded_reason = (
+                                f"worker peak RSS {reply.get('rss_bytes')} "
+                                f"bytes breached the watchdog ceiling; "
+                                f"shedding queued units to serial execution"
+                            )
+                            for other in not_done:
+                                other.cancel()
                     outcomes[unit.unit_id] = outcome
                     self._journal_outcome(unit, outcome, stored)
                     if outcome.status == "failed" and not self.keep_going and not stopping:
@@ -315,6 +391,7 @@ class PoolRunner:
                             other.cancel()
         finally:
             executor.shutdown(wait=True, cancel_futures=True)
+        return stopping
 
     def _outcome_from_reply(self, unit: RunUnit, reply: dict) -> UnitOutcome:
         value = None

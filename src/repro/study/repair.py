@@ -1,0 +1,210 @@
+"""Verify-and-repair: regenerate artefacts that failed integrity checks.
+
+:func:`~repro.runner.integrity.verify_tree` can *detect* corruption and
+quarantine the damaged files, but only the code that produced an
+artefact can bring it back.  Every managed run directory therefore
+carries ``RUN.json`` — a tiny re-run recipe written by
+:func:`~repro.study.resultstore.write_report` and
+:func:`~repro.core.explorer.run_sweep_dir` — and this module closes the
+loop: :func:`verify_and_repair` quarantines what is damaged, replays
+each affected run through its normal resume path (journals make that
+cheap — only the units whose artefacts vanished recompute), and
+verifies again.
+
+The recipe schema (``{"run": 1, ...}``) is deliberately minimal:
+
+* ``kind: "report"`` — ``ids`` + ``scale`` for ``write_report``;
+* ``kind: "sweep"`` — ``workload`` + ``scale`` + the template
+  :meth:`~repro.core.config.SystemConfig.to_dict` for
+  ``run_sweep_dir``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..core.config import SystemConfig
+from ..core.explorer import run_sweep_dir
+from ..errors import IntegrityError, ReproError
+from ..runner.integrity import (
+    RUN_METADATA_NAME,
+    IntegrityReport,
+    verify_tree,
+)
+from .resultstore import write_report
+
+__all__ = ["RepairOutcome", "rerun_directory", "verify_and_repair"]
+
+#: Schema version of the ``RUN.json`` re-run recipe.
+RUN_SCHEMA = 1
+
+
+def _load_recipe(directory: Path) -> dict:
+    path = directory / RUN_METADATA_NAME
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise IntegrityError(
+            f"{directory}: no {RUN_METADATA_NAME} re-run recipe; this "
+            f"directory predates integrity tracking or was not written "
+            f"by write_report/run_sweep_dir"
+        ) from None
+    except (OSError, json.JSONDecodeError) as error:
+        raise IntegrityError(f"{path}: unreadable re-run recipe: {error}") from None
+    if not isinstance(payload, dict) or payload.get("run") != RUN_SCHEMA:
+        raise IntegrityError(
+            f"{path}: unsupported re-run recipe "
+            f"(expected {{'run': {RUN_SCHEMA}, ...}})"
+        )
+    return payload
+
+
+def rerun_directory(
+    directory: Union[str, Path],
+    *,
+    workers: "Union[None, int, str]" = None,
+) -> str:
+    """Re-execute the run that produced ``directory`` via its resume path.
+
+    Reads the ``RUN.json`` recipe and replays the run with
+    ``resume=True`` and ``keep_going=True``: units whose artefacts are
+    intact are restored from the journal; units whose artefacts were
+    quarantined or lost recompute and rewrite them (with fresh
+    sidecars and manifest).  Returns the recipe kind.
+
+    Raises
+    ------
+    IntegrityError
+        When the recipe is missing, unreadable, or of an unknown kind.
+    """
+    run_dir = Path(directory)
+    recipe = _load_recipe(run_dir)
+    kind = recipe.get("kind")
+    if kind == "report":
+        write_report(
+            run_dir,
+            ids=recipe.get("ids"),
+            scale=recipe.get("scale"),
+            resume=True,
+            keep_going=True,
+            workers=workers,
+        )
+    elif kind == "sweep":
+        template = SystemConfig.from_dict(recipe.get("config", {}))
+        run_sweep_dir(
+            run_dir,
+            recipe.get("workload", "gcc1"),
+            template,
+            scale=recipe.get("scale"),
+            resume=True,
+            keep_going=True,
+            workers=workers,
+        )
+    else:
+        raise IntegrityError(
+            f"{run_dir / RUN_METADATA_NAME}: unknown run kind {kind!r} "
+            f"(expected 'report' or 'sweep')"
+        )
+    return str(kind)
+
+
+@dataclass
+class RepairOutcome:
+    """What :func:`verify_and_repair` found and did."""
+
+    #: The initial verification pass (``repair=True``: quarantines done,
+    #: stale records rewritten).
+    report: IntegrityReport
+    #: Directories whose runs were replayed to regenerate artefacts.
+    reran: List[Path] = field(default_factory=list)
+    #: Damaged directories that could not be replayed (no usable
+    #: ``RUN.json``), with the reason.
+    skipped: List[str] = field(default_factory=list)
+    #: Verification after the re-runs (None when nothing needed one).
+    final: Optional[IntegrityReport] = None
+
+    @property
+    def clean(self) -> bool:
+        """True when the tree ended the call fully verified."""
+        if self.skipped:
+            return False
+        if self.final is not None:
+            return self.final.clean
+        return self.report.clean
+
+    def to_record(self) -> dict:
+        record = {
+            "verify": self.report.to_record(),
+            "reran": [str(path) for path in self.reran],
+            "skipped": list(self.skipped),
+            "clean": self.clean,
+        }
+        if self.final is not None:
+            record["final"] = self.final.to_record()
+        return record
+
+    def render(self) -> str:
+        lines = [self.report.render()]
+        for path in self.reran:
+            lines.append(f"reran: {path}")
+        for reason in self.skipped:
+            lines.append(f"skipped: {reason}")
+        if self.final is not None:
+            lines.append("after repair:")
+            lines.append(self.final.render())
+        return "\n".join(lines)
+
+
+def _damaged_run_dirs(report: IntegrityReport) -> List[Path]:
+    """Run directories that lost artefacts and need regeneration.
+
+    Finding paths are relative to the verified root (see
+    ``_verify_directory``), so they are re-anchored before use.
+    """
+    root = Path(report.root)
+    dirs: List[Path] = []
+    for finding in report.findings:
+        if finding.kind not in ("corrupt-artifact", "missing-artifact"):
+            continue
+        directory = (root / finding.path).parent
+        if directory not in dirs:
+            dirs.append(directory)
+    return dirs
+
+
+def verify_and_repair(
+    root: Union[str, Path],
+    *,
+    rerun: bool = True,
+    workers: "Union[None, int, str]" = None,
+) -> RepairOutcome:
+    """Verify a results tree, quarantine damage, and regenerate it.
+
+    Three stages: (1) :func:`verify_tree` with ``repair=True`` — stale
+    sidecars/manifests are rewritten, corrupt artefacts are moved to
+    ``quarantine/``; (2) every directory that lost an artefact is
+    replayed through :func:`rerun_directory` (skipped, and reported,
+    when it carries no usable recipe); (3) a final :func:`verify_tree`
+    proves the regenerated tree is intact.
+    """
+    report = verify_tree(root, repair=True)
+    outcome = RepairOutcome(report=report)
+    if not rerun:
+        return outcome
+    for directory in _damaged_run_dirs(report):
+        try:
+            rerun_directory(directory, workers=workers)
+        except IntegrityError as error:
+            outcome.skipped.append(str(error))
+        except ReproError as error:
+            outcome.skipped.append(f"{directory}: re-run failed: {error}")
+        else:
+            outcome.reran.append(directory)
+    if outcome.reran or outcome.skipped or not report.clean:
+        # Anything repaired — even purely in place — is proved intact
+        # by a fresh pass, never assumed.
+        outcome.final = verify_tree(root, repair=False)
+    return outcome

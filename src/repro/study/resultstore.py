@@ -24,12 +24,17 @@ from typing import Iterable, List, Optional, Union
 
 from ..errors import ExperimentError, ReproError
 from ..runner import (
+    RUN_METADATA_NAME,
     PoolRunner,
+    ResourceWatchdog,
     RetryPolicy,
     RunJournal,
     Runner,
     RunUnit,
+    matches_sidecar,
     resolve_workers,
+    untrack,
+    write_manifest,
     write_text_atomic,
 )
 from ..runner import faults
@@ -121,9 +126,17 @@ def result_from_dict(payload: dict) -> ExperimentResult:
         raise ExperimentError("malformed result document: series entries malformed") from None
 
 
-def save_result(result: ExperimentResult, path: Union[str, Path]) -> None:
-    """Write ``result`` as pretty-printed JSON (atomic tmp+rename)."""
-    write_text_atomic(path, json.dumps(result_to_dict(result), indent=2) + "\n")
+def save_result(
+    result: ExperimentResult, path: Union[str, Path], *, track: bool = True
+) -> None:
+    """Write ``result`` as pretty-printed JSON (atomic tmp+rename).
+
+    ``track=True`` (default) records a sha256 sidecar next to the file
+    so ``repro verify`` can prove the artefact unchanged later.
+    """
+    write_text_atomic(
+        path, json.dumps(result_to_dict(result), indent=2) + "\n", track=track
+    )
 
 
 def load_result(path: Union[str, Path]) -> ExperimentResult:
@@ -136,13 +149,21 @@ def load_result(path: Union[str, Path]) -> ExperimentResult:
 
 
 def _artifact_valid(out: Path, experiment_id: str) -> bool:
-    """True when both report artefacts of ``experiment_id`` load cleanly."""
+    """True when both report artefacts of ``experiment_id`` load cleanly.
+
+    Besides parsing the JSON, both artefacts must match their sha256
+    sidecars (a missing sidecar — a pre-integrity artefact — passes):
+    a bit-flipped ``.txt`` or a corrupted-but-still-parseable ``.json``
+    re-runs on resume instead of being trusted.
+    """
     json_path = out / f"{experiment_id}.json"
     txt_path = out / f"{experiment_id}.txt"
     if not txt_path.exists():
         return False
     try:
         load_result(json_path)
+        if not matches_sidecar(json_path) or not matches_sidecar(txt_path):
+            return False
     except (ReproError, OSError):
         return False
     return True
@@ -167,10 +188,13 @@ class _ReportRun:
         result = experiment.run(scale=self.scale)
         out = Path(self.out_dir)
         json_path = out / f"{self.experiment_id}.json"
-        save_result(result, json_path)
-        write_text_atomic(out / f"{self.experiment_id}.txt", result.render() + "\n")
-        # Test hook: emulates a torn write that bypassed atomic rename.
-        faults.maybe_corrupt_file(self.experiment_id, json_path)
+        save_result(result, json_path, track=True)
+        write_text_atomic(
+            out / f"{self.experiment_id}.txt", result.render() + "\n", track=True
+        )
+        # Test hook: emulates post-write bit-rot that bypassed atomic
+        # rename (truncation, bit flips, partial content).
+        faults.damage_artifact(self.experiment_id, json_path)
         return self.experiment_id
 
 
@@ -200,6 +224,7 @@ def write_report(
     timeout_s: Optional[float] = None,
     retries: int = 0,
     workers: "Union[None, int, str]" = None,
+    watchdog: Optional[ResourceWatchdog] = None,
 ) -> List[str]:
     """Run experiments and write ``<id>.json`` / ``<id>.txt`` + an index.
 
@@ -246,6 +271,14 @@ def write_report(
     # Resolve everything up front: an unknown id fails fast, before any
     # artefact or journal is touched.
     experiments = [get_experiment(experiment_id) for experiment_id in chosen]
+    guard = watchdog if watchdog is not None else ResourceWatchdog()
+    guard.preflight_disk(out)
+    metadata = {"run": 1, "kind": "report", "ids": chosen, "scale": scale}
+    write_text_atomic(
+        out / RUN_METADATA_NAME,
+        json.dumps(metadata, sort_keys=True) + "\n",
+        track=True,
+    )
     journal = RunJournal.open(out / JOURNAL_NAME, resume=resume)
     n_workers = resolve_workers(workers)
     if n_workers is None:
@@ -262,6 +295,7 @@ def write_report(
             timeout_s=timeout_s,
             keep_going=keep_going,
             workers=n_workers,
+            watchdog=guard,
         )
     run = runner.run([_report_unit(out, experiment, scale) for experiment in experiments])
 
@@ -273,16 +307,24 @@ def write_report(
         if experiment.experiment_id in completed
     ]
     if index_lines:
-        write_text_atomic(out / "INDEX.tsv", "\n".join(index_lines) + "\n")
+        write_text_atomic(
+            out / "INDEX.tsv", "\n".join(index_lines) + "\n", track=True
+        )
 
     failures_path = out / FAILURES_NAME
     if run.failed:
         write_text_atomic(
-            failures_path, json.dumps(run.failures_manifest(), indent=2) + "\n"
+            failures_path,
+            json.dumps(run.failures_manifest(), indent=2) + "\n",
+            track=True,
         )
     else:
         failures_path.unlink(missing_ok=True)
+        untrack(failures_path)
 
+    # Bind the directory's artefacts together before surfacing any
+    # failure: even a failed run leaves a verifiable tree behind.
+    write_manifest(out)
     if run.failed and not keep_going:
         run.raise_first_failure()
     return written

@@ -41,13 +41,15 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> None:
     """Write ``trace`` to ``path`` as a compressed ``.npz`` archive.
 
     The archive is written to a ``.tmp`` sibling and renamed into
-    place, so an interrupted save never leaves a torn archive behind.
+    place, so an interrupted save never leaves a torn archive behind;
+    a sha256 sidecar records the archive's digest so ``repro verify``
+    can prove it unchanged later.
     """
     path = Path(path)
     if not path.suffix:
         # np.savez appends .npz to bare filenames; keep that contract.
         path = path.with_suffix(".npz")
-    with atomic_open(path, "wb") as handle:
+    with atomic_open(path, "wb", track=True) as handle:
         np.savez_compressed(
             handle,
             name=np.array(trace.name),

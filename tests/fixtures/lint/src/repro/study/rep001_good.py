@@ -16,13 +16,13 @@ def load_strict(path):
 
 
 def save_report(path, rows):
-    with atomic_open(path, "w") as handle:
+    with atomic_open(path, "w", track=True) as handle:
         json.dump(rows, handle)
 
 
 def save_manifest(path, text):
-    write_text_atomic(path, text)
+    write_text_atomic(path, text, track=True)
 
 
 def save_blob(path, data):
-    write_bytes_atomic(path, data)
+    write_bytes_atomic(path, data, track=True)

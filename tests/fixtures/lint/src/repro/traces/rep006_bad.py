@@ -1,0 +1,23 @@
+"""REP006 positive fixture: artefact writes that never declare tracking."""
+
+import json
+
+from repro.runner import atomic_open, write_bytes_atomic
+from repro.runner.atomic import write_text_atomic as persist_text
+
+
+def save_report(path, rows):
+    with atomic_open(path, "w") as handle:  # finding: no track= choice
+        json.dump(rows, handle)
+
+
+def save_table(path, text):
+    persist_text(path, text)  # finding: aliased helper, still no track=
+
+
+def save_blob(path, data):
+    write_bytes_atomic(path, data)  # finding: no track= choice
+
+
+def save_index(path, lines):
+    persist_text(path, "\n".join(lines) + "\n")  # finding: no track= choice

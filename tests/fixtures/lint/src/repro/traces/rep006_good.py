@@ -1,0 +1,28 @@
+"""REP006 negative fixture: every write declares its tracking choice."""
+
+import json
+
+from repro.runner import atomic_open, write_bytes_atomic, write_text_atomic
+
+
+def save_report(path, rows):
+    with atomic_open(path, "w", track=True) as handle:  # persisted artefact
+        json.dump(rows, handle)
+
+
+def save_scratch(path, text):
+    write_text_atomic(path, text, track=False)  # scratch output, opted out
+
+
+def save_blob(path, data):
+    write_bytes_atomic(path, data, track=True)
+
+
+def save_forwarded(path, text, **kwargs):
+    # A **kwargs passthrough may carry track=; not provable statically.
+    write_text_atomic(path, text, **kwargs)
+
+
+def load_report(path):
+    with open(path) as handle:  # reads need no tracking choice
+        return json.load(handle)

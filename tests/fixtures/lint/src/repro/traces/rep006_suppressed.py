@@ -1,0 +1,12 @@
+"""REP006 suppressed fixture: an explained untracked write."""
+
+from repro.runner import write_text_atomic
+
+
+def save_probe(path, text):
+    write_text_atomic(path, text)  # repro: lint-ok[REP006] probe file is deleted before the run ends, nothing to verify
+
+
+def save_probe_above(path, text):
+    # repro: lint-ok[REP006] standalone-comment form, also explained
+    write_text_atomic(path, text)

@@ -26,6 +26,7 @@ RULE_FIXTURES = {
     "REP003": FIXTURES / "src" / "repro" / "core",
     "REP004": FIXTURES / "src" / "repro" / "core",
     "REP005": FIXTURES / "benchmarks",
+    "REP006": FIXTURES / "src" / "repro" / "traces",
 }
 
 
@@ -38,7 +39,15 @@ class TestRegistry:
     def test_all_rules_catalogued(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == sorted(ids)
-        for expected in ("REP000", "REP001", "REP002", "REP003", "REP004", "REP005"):
+        for expected in (
+            "REP000",
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+            "REP006",
+        ):
             assert expected in ids
 
     def test_every_rule_has_rationale(self):
@@ -63,7 +72,14 @@ class TestRegistry:
 
 @pytest.mark.parametrize(
     "rule,n_bad",
-    [("REP001", 4), ("REP002", 5), ("REP003", 3), ("REP004", 5), ("REP005", 6)],
+    [
+        ("REP001", 4),
+        ("REP002", 5),
+        ("REP003", 3),
+        ("REP004", 5),
+        ("REP005", 6),
+        ("REP006", 4),
+    ],
 )
 class TestRuleFixtures:
     def test_fires_on_violations(self, rule, n_bad):

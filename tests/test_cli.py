@@ -171,7 +171,7 @@ class TestLint:
     BAD = 'from pathlib import Path\n\n\ndef save(path: Path, text: str) -> None:\n    path.write_text(text)\n'
     GOOD = (
         "from repro.runner import write_text_atomic\n\n\n"
-        "def save(path, text):\n    write_text_atomic(path, text)\n"
+        "def save(path, text):\n    write_text_atomic(path, text, track=True)\n"
     )
 
     def _package_file(self, tmp_path, name, source):
@@ -225,7 +225,7 @@ class TestLint:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("REP000", "REP001", "REP002", "REP003", "REP004", "REP005"):
+        for rule_id in ("REP000", "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
             assert rule_id in out
 
     def test_workers_matches_serial(self, capsys, tmp_path):

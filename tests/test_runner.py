@@ -330,6 +330,26 @@ class TestFaultPlans:
         assert plan.crash_unit == "0001:1:0"
         assert plan.delay_unit == "0002:2:4" and plan.delay_s == 0.5
 
+    def test_parse_extended_grammar(self):
+        plan = faults.parse_plan(
+            "bitflip=fig5:8,partial=fig7:16,enospc=fig3:2,killworker=fig9"
+        )
+        assert plan.bitflip_unit == "fig5" and plan.bitflip_offset == 8
+        assert plan.partial_unit == "fig7" and plan.partial_bytes == 16
+        assert plan.enospc_unit == "fig3" and plan.enospc_times == 2
+        assert plan.killworker_unit == "fig9"
+
+    def test_extended_grammar_defaults(self):
+        plan = faults.parse_plan("bitflip=u,partial=v,enospc=w")
+        assert plan.bitflip_unit == "u" and plan.bitflip_offset is None
+        assert plan.partial_unit == "v" and plan.partial_bytes is None
+        assert plan.enospc_unit == "w" and plan.enospc_times == 1
+
+    def test_extended_grammar_bad_args_rejected(self):
+        for spec in ("bitflip=u:mid", "partial=u:half", "enospc=u:forever"):
+            with pytest.raises(RunnerError):
+                faults.parse_plan(spec)
+
     def test_env_var_plan(self, monkeypatch):
         monkeypatch.setenv(faults.ENV_VAR, "fail=u:1")
         runner = Runner(keep_going=True)
@@ -386,6 +406,121 @@ class TestKillAndResume:
         stale = make_unit("u", lambda: calls.append(1), check_skip=lambda: False)
         Runner(journal=RunJournal.open(path, resume=True)).run([stale])
         assert len(calls) == 2
+
+
+class TestEnospcWrites:
+    """Injected disk exhaustion surfaces as a retryable CheckpointError."""
+
+    def writing_unit(self, path):
+        return make_unit("u", lambda: write_text_atomic(path, "artefact body"))
+
+    def test_exhausted_retries_fail_with_checkpoint_error(self, tmp_path):
+        faults.install(faults.FaultPlan(enospc_unit="u", enospc_times=2))
+        result = Runner(keep_going=True).run([self.writing_unit(tmp_path / "a.txt")])
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.error["type"] == "CheckpointError"
+        assert isinstance(outcome.exception, CheckpointError)
+        assert not (tmp_path / "a.txt").exists()
+        assert no_tmp_leftovers(tmp_path)
+
+    def test_transient_enospc_is_retried_to_success(self, tmp_path):
+        faults.install(faults.FaultPlan(enospc_unit="u", enospc_times=1))
+        runner = Runner(
+            retry=RetryPolicy(max_attempts=2, backoff_s=0), sleep=lambda _: None
+        )
+        result = runner.run([self.writing_unit(tmp_path / "a.txt")])
+        outcome = result.outcomes[0]
+        assert outcome.status == "ok"
+        assert outcome.attempts == 2
+        assert (tmp_path / "a.txt").read_text() == "artefact body"
+
+    def test_enospc_targets_only_the_named_unit(self, tmp_path):
+        faults.install(faults.FaultPlan(enospc_unit="other", enospc_times=99))
+        result = Runner().run([self.writing_unit(tmp_path / "a.txt")])
+        assert result.outcomes[0].status == "ok"
+        assert result.outcomes[0].attempts == 1
+
+
+class TestRewriteOrdered:
+    """The canonical-reorder pass and the kill windows around it.
+
+    A parallel run appends outcomes in arrival order and reorders them
+    only on successful completion, so a kill *before* the rewrite must
+    leave a journal the resume path accepts, and the rewrite itself
+    must never reorder entries replayed from a previous run.
+    """
+
+    def record_ok(self, journal, unit_id):
+        journal.record(unit_id, unit_key({"id": unit_id}), "ok")
+
+    def test_rewrite_orders_current_run_entries(self, tmp_path):
+        journal = RunJournal.open(tmp_path / "j.jsonl")
+        for uid in ("c", "a", "b"):  # arrival order under 3 workers
+            self.record_ok(journal, uid)
+        journal.rewrite_ordered(["a", "b", "c"])
+        assert [e["unit"] for e in journal.entries] == ["a", "b", "c"]
+        reloaded = RunJournal.open(tmp_path / "j.jsonl", resume=True)
+        assert [e["unit"] for e in reloaded.entries] == ["a", "b", "c"]
+
+    def test_kill_before_rewrite_still_resumes(self, tmp_path):
+        # Arrival-ordered journal with no canonical pass = a run killed
+        # in the window between the last append and rewrite_ordered.
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal.open(path)
+        for uid in ("b", "a"):
+            self.record_ok(journal, uid)
+
+        resumed = RunJournal.open(path, resume=True)
+        for uid in ("a", "b", "c"):
+            assert resumed.completed(uid, unit_key({"id": uid})) == (uid != "c")
+
+    def test_rewrite_never_moves_replayed_entries(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal.open(path)
+        for uid in ("b", "a"):
+            self.record_ok(journal, uid)
+
+        resumed = RunJournal.open(path, resume=True)
+        self.record_ok(resumed, "d")
+        self.record_ok(resumed, "c")
+        resumed.rewrite_ordered(["a", "b", "c", "d"])
+        # Replayed prefix keeps its (arrival) order; only this run's
+        # tail is canonicalised — matching what the serial engine would
+        # have appended after the same resume.
+        assert [e["unit"] for e in resumed.entries] == ["b", "a", "c", "d"]
+
+    def test_rewrite_after_kill_converges_with_clean_run(self, tmp_path):
+        killed = RunJournal.open(tmp_path / "killed.jsonl")
+        for uid in ("b", "a"):
+            self.record_ok(killed, uid)
+        resumed = RunJournal.open(tmp_path / "killed.jsonl", resume=True)
+        self.record_ok(resumed, "c")
+        resumed.rewrite_ordered(["a", "b", "c"])
+
+        reloaded = RunJournal.open(tmp_path / "killed.jsonl", resume=True)
+        for uid in ("a", "b", "c"):
+            assert reloaded.completed(uid, unit_key({"id": uid}))
+        assert len(reloaded.entries) == 3
+
+    def test_unknown_units_sort_after_known(self, tmp_path):
+        journal = RunJournal.open(tmp_path / "j.jsonl")
+        for uid in ("stray", "b", "a"):
+            self.record_ok(journal, uid)
+        journal.rewrite_ordered(["a", "b"])
+        assert [e["unit"] for e in journal.entries] == ["a", "b", "stray"]
+
+    def test_torn_final_append_is_dropped_on_resume(self, tmp_path):
+        # A kill *during* a journal append leaves a half-written final
+        # line; replay drops exactly that entry and re-runs its unit.
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal.open(path)
+        self.record_ok(journal, "a")
+        with open(path, "a") as handle:  # repro: lint-ok[REP001] deliberately tears the journal tail to emulate a mid-append kill
+            handle.write('{"unit": "b", "status"')
+        resumed = RunJournal.open(path, resume=True)
+        assert resumed.completed("a", unit_key({"id": "a"}))
+        assert not resumed.completed("b", unit_key({"id": "b"}))
 
 
 # --- write_report integration -------------------------------------------

@@ -1,0 +1,193 @@
+"""Resource watchdog: disk preflight, RSS shedding, serial degradation.
+
+The degradation ladder under test (mildest rung first): a run on a
+too-full filesystem is refused *before* anything is written; a worker
+whose peak RSS breaches the policy ceiling sheds the queued work back
+to the parent, which finishes serially with identical results; a worker
+that dies outright (the ``killworker`` fault stands in for an OOM kill)
+likewise degrades to serial instead of aborting the run.
+"""
+
+import functools
+import multiprocessing
+
+import pytest
+
+from repro.errors import ResourceError, RunnerError
+from repro.runner import (
+    PoolRunner,
+    RunJournal,
+    Runner,
+    RunUnit,
+    ResourceWatchdog,
+    WatchdogPolicy,
+    peak_rss_bytes,
+)
+from repro.runner import faults
+
+FORK = "fork" in multiprocessing.get_all_start_methods()
+fork_only = pytest.mark.skipif(
+    not FORK, reason="needs the fork start method to inherit parent state"
+)
+
+#: A ceiling every real process breaches (any reply RSS exceeds 1 byte).
+TINY_RSS = WatchdogPolicy(max_worker_rss_bytes=1)
+#: A floor no real filesystem satisfies.
+HUGE_FLOOR = 1 << 60
+
+
+def _value(uid):
+    return f"value:{uid}"
+
+
+def make_units(ids):
+    return [
+        RunUnit(
+            unit_id=uid,
+            payload={"id": uid},
+            run=functools.partial(_value, uid),
+            to_record=dict_record,
+        )
+        for uid in ids
+    ]
+
+
+def dict_record(value):
+    return {"value": value}
+
+
+class TestPolicy:
+    def test_negative_floor_rejected(self):
+        with pytest.raises(ResourceError):
+            WatchdogPolicy(min_free_bytes=-1)
+
+    def test_nonpositive_rss_ceiling_rejected(self):
+        with pytest.raises(ResourceError):
+            WatchdogPolicy(max_worker_rss_bytes=0)
+
+    def test_peak_rss_measurable_here(self):
+        rss = peak_rss_bytes()
+        assert rss is not None and rss > 1024 * 1024  # >1 MiB, surely
+
+    def test_over_rss(self):
+        dog = ResourceWatchdog(TINY_RSS)
+        assert dog.over_rss(2)
+        assert not dog.over_rss(1)
+        assert not dog.over_rss(None)  # unmeasurable: never sheds
+        assert not ResourceWatchdog().over_rss(1 << 50)  # no ceiling
+
+
+class TestDiskPreflight:
+    def test_healthy_disk_passes(self, tmp_path):
+        free = ResourceWatchdog().preflight_disk(tmp_path)
+        assert free > 0
+
+    def test_full_disk_refused(self, tmp_path):
+        dog = ResourceWatchdog(WatchdogPolicy(min_free_bytes=HUGE_FLOOR))
+        with pytest.raises(ResourceError):
+            dog.preflight_disk(tmp_path)
+
+    def test_explicit_need_overrides_policy(self, tmp_path):
+        with pytest.raises(ResourceError):
+            ResourceWatchdog().preflight_disk(tmp_path, need_bytes=HUGE_FLOOR)
+
+    def test_missing_path_measures_nearest_ancestor(self, tmp_path):
+        free = ResourceWatchdog().preflight_disk(
+            tmp_path / "not" / "yet" / "created"
+        )
+        assert free > 0
+
+    def test_pool_run_preflights_journal_directory(self, tmp_path):
+        journal = RunJournal.open(tmp_path / "j.jsonl")
+        runner = PoolRunner(
+            journal=journal,
+            workers=2,
+            watchdog=ResourceWatchdog(WatchdogPolicy(min_free_bytes=HUGE_FLOOR)),
+        )
+        with pytest.raises(ResourceError):
+            runner.run(make_units(["a", "b"]))
+        # Refused before anything ran: no outcomes were journalled.
+        assert RunJournal.open(tmp_path / "j.jsonl", resume=True).entries == []
+
+
+@fork_only
+class TestRssShedding:
+    def test_breach_degrades_to_serial_with_identical_results(self, tmp_path):
+        ids = [f"u{i}" for i in range(6)]
+        serial = Runner(journal=None).run(make_units(ids))
+
+        pool = PoolRunner(
+            journal=RunJournal.open(tmp_path / "j.jsonl"),
+            workers=2,
+            watchdog=ResourceWatchdog(TINY_RSS),
+        )
+        result = pool.run(make_units(ids))
+        assert pool.degraded_reason is not None
+        assert "RSS" in pool.degraded_reason
+        assert [o.unit_id for o in result.outcomes] == ids
+        assert result.values() == serial.values()
+
+    def test_no_ceiling_never_sheds(self, tmp_path):
+        pool = PoolRunner(
+            journal=RunJournal.open(tmp_path / "j.jsonl"),
+            workers=2,
+            watchdog=ResourceWatchdog(),
+        )
+        result = pool.run(make_units(["a", "b", "c"]))
+        assert pool.degraded_reason is None
+        assert [o.status for o in result.outcomes] == ["ok", "ok", "ok"]
+
+
+@fork_only
+class TestWorkerDeath:
+    def setup_method(self):
+        faults.clear()
+
+    def teardown_method(self):
+        faults.clear()
+
+    def test_dead_worker_aborts_without_watchdog(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "killworker=b")
+        runner = PoolRunner(
+            journal=RunJournal.open(tmp_path / "j.jsonl"), workers=2
+        )
+        with pytest.raises(RunnerError) as excinfo:
+            runner.run(make_units(["a", "b", "c"]))
+        assert "resume" in str(excinfo.value)
+
+    def test_dead_worker_degrades_with_watchdog(self, tmp_path, monkeypatch):
+        ids = ["a", "b", "c", "d"]
+        serial = Runner(journal=None).run(make_units(ids))
+
+        monkeypatch.setenv(faults.ENV_VAR, "killworker=b")
+        pool = PoolRunner(
+            journal=RunJournal.open(tmp_path / "j.jsonl"),
+            workers=2,
+            watchdog=ResourceWatchdog(),
+        )
+        result = pool.run(make_units(ids))
+        assert pool.degraded_reason is not None
+        assert "died" in pool.degraded_reason
+        # The killed unit itself completes on the serial rung: the
+        # killworker fault only fires inside a pool worker process.
+        assert [o.status for o in result.outcomes] == ["ok"] * 4
+        assert result.values() == serial.values()
+
+    def test_degraded_run_resumes_cleanly(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "killworker=b")
+        pool = PoolRunner(
+            journal=RunJournal.open(tmp_path / "j.jsonl"),
+            workers=2,
+            watchdog=ResourceWatchdog(),
+        )
+        pool.run(make_units(["a", "b", "c"]))
+
+        monkeypatch.delenv(faults.ENV_VAR)
+        resumed = PoolRunner(
+            journal=RunJournal.open(tmp_path / "j.jsonl", resume=True),
+            workers=2,
+            watchdog=ResourceWatchdog(),
+        )
+        result = resumed.run(make_units(["a", "b", "c"]))
+        assert resumed.degraded_reason is None
+        assert [o.status for o in result.outcomes] == ["skipped"] * 3
