@@ -1,0 +1,128 @@
+"""Many-client load test of `repro serve`: latency and memo hit-rate.
+
+Drives a live :class:`~repro.serve.harness.BackgroundServer` over real
+TCP the way a fleet of curl clients would.  Phase one computes a small
+design-point mix cold (every request misses the memo store and runs a
+real evaluation); phase two hammers the same mix from concurrent
+client threads, so every request is a warm, integrity-verified memo
+hit.  Per-request wall latencies are recorded and summarized as
+p50/p99 per phase, plus the service's own memo hit-rate, into
+``benchmarks/output/BENCH_serve.json``.
+
+The gate is the acceptance criterion of the serving PR: a warm memo
+hit must be served at least ``WARM_SPEEDUP_FLOOR``× faster than a cold
+compute (medians).  The margin is huge in practice — a memo hit is one
+hash-verified file read, a cold compute is a full trace replay — so
+the floor is safe on noisy CI runners while still catching a broken
+memo path (which would show up as warm ≈ cold).
+"""
+
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.runner import write_text_atomic
+from repro.serve import BackgroundServer, ServePolicy
+
+#: The design-point mix every phase cycles through.
+POINTS = ((1, 0), (1, 8), (2, 0), (2, 16), (4, 32), (8, 64))
+
+#: Trace scale for the cold evaluations (small: latency ratio, not
+#: absolute cost, is what this bench gates).
+SCALE = 0.05
+
+#: Warm-phase shape: many clients, many requests over the same mix.
+N_CLIENTS = 8
+N_WARM_REQUESTS = 120
+
+#: Required median cold/warm latency ratio (acceptance criterion: 10).
+WARM_SPEEDUP_FLOOR = 10.0
+
+
+def _payload(l1_kb, l2_kb):
+    return {"l1_kb": l1_kb, "l2_kb": l2_kb, "workload": "gcc1", "scale": SCALE}
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _timed_request(server, payload):
+    started = time.perf_counter()
+    status, headers, _ = server.request("POST", "/v1/evaluate", payload)
+    elapsed = time.perf_counter() - started
+    assert status == 200, f"load test request failed: HTTP {status}"
+    return elapsed, headers["x-repro-source"]
+
+
+def _summary(samples):
+    return {
+        "n": len(samples),
+        "p50_ms": round(_percentile(samples, 0.50) * 1e3, 3),
+        "p99_ms": round(_percentile(samples, 0.99) * 1e3, 3),
+        "mean_ms": round(sum(samples) / len(samples) * 1e3, 3),
+    }
+
+
+def test_serve_load(output_dir, tmp_path):
+    payloads = [_payload(l1, l2) for l1, l2 in POINTS]
+    policy = ServePolicy(deadline_s=300.0, max_active=N_CLIENTS)
+    with BackgroundServer(tmp_path / "store", workers=2, policy=policy) as server:
+        cold_latencies = []
+        for payload in payloads:
+            elapsed, source = _timed_request(server, payload)
+            assert source == "cold"
+            cold_latencies.append(elapsed)
+
+        warm_latencies = []
+        sources = []
+
+        def fire(index):
+            elapsed, source = _timed_request(
+                server, payloads[index % len(payloads)]
+            )
+            return elapsed, source
+
+        with ThreadPoolExecutor(max_workers=N_CLIENTS) as clients:
+            for elapsed, source in clients.map(fire, range(N_WARM_REQUESTS)):
+                warm_latencies.append(elapsed)
+                sources.append(source)
+
+        health = json.loads(server.request("GET", "/healthz")[2])
+
+    assert all(source == "memo" for source in sources), (
+        "warm phase must be served entirely from the memo store"
+    )
+    memo = health["memo"]
+    requests = health["requests"]
+    served = requests["memo"] + requests["cold"] + requests["coalesced"]
+    hit_rate = requests["memo"] / max(1, served)
+
+    cold_p50 = _percentile(cold_latencies, 0.50)
+    warm_p50 = _percentile(warm_latencies, 0.50)
+    speedup = cold_p50 / warm_p50 if warm_p50 > 0 else float("inf")
+
+    record = {
+        "points": len(payloads),
+        "clients": N_CLIENTS,
+        "scale": SCALE,
+        "cold": _summary(cold_latencies),
+        "warm": _summary(warm_latencies),
+        "warm_speedup_p50": round(speedup, 1),
+        "memo_hit_rate": round(hit_rate, 4),
+        "memo_entries": memo["entries"],
+        "shed": health["admission"]["shed"],
+    }
+    write_text_atomic(
+        output_dir / "BENCH_serve.json", json.dumps(record, indent=2) + "\n"
+    )
+    print()
+    print(json.dumps(record, indent=2))
+
+    assert hit_rate >= N_WARM_REQUESTS / (N_WARM_REQUESTS + len(payloads)) - 0.01
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm memo hit only {speedup:.1f}x faster than cold compute "
+        f"(floor {WARM_SPEEDUP_FLOOR}x)"
+    )

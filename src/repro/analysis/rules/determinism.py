@@ -1,4 +1,4 @@
-"""REP002: model code must be deterministic.
+"""REP002: model code must be deterministic; execution code seeded.
 
 The parallel-execution guarantee (PR 2) is that a sweep's artefacts are
 byte-identical whatever the worker count — which is only true while the
@@ -7,6 +7,14 @@ of their inputs.  Wall-clock reads and unseeded random sources are the
 two ways determinism silently leaks out, so both are banned in those
 packages.  (Seeded generators are fine: the trace synthesiser derives
 every ``numpy`` generator from a stable name hash.)
+
+The *execution* packages (``runner/``, ``serve/``) legitimately read
+clocks — elapsed-time measurement, deadlines, breaker cooldowns are
+their job — but they must never draw from the global RNG: retry
+backoff jitter, the classic temptation, has to derive from the seeded
+LFSR and the unit id (:func:`repro.runner.engine.jitter_unit`) so that
+a replayed run backs off identically.  For those directories only the
+randomness bans apply.
 """
 
 from __future__ import annotations
@@ -17,8 +25,14 @@ from typing import Iterator
 from ..finding import FileContext
 from ..registry import Violation, checker
 
-#: Packages whose byte-equality the differential pool tests depend on.
-_SCOPED_DIRS = ("cache", "timing", "area", "power", "ext")
+#: Packages whose byte-equality the differential pool tests depend on:
+#: both wall clocks and unseeded randomness are banned.
+_MODEL_DIRS = ("cache", "timing", "area", "power", "ext")
+
+#: Execution-layer packages: clocks are their business (timeouts,
+#: latency metrics, breaker cooldowns) but global randomness is still
+#: banned — backoff jitter must come from the seeded LFSR/unit id.
+_EXEC_DIRS = ("runner", "serve")
 
 _WALL_CLOCKS = frozenset(
     {
@@ -46,10 +60,14 @@ _SEEDABLE_CONSTRUCTORS = frozenset(
     "REP002",
     "determinism",
     "A wall-clock read or unseeded RNG in a model module breaks the "
-    "byte-identical-under-parallelism guarantee the pool tests enforce.",
+    "byte-identical-under-parallelism guarantee the pool tests enforce; "
+    "global-RNG draws in execution code (e.g. backoff jitter) break "
+    "run replayability.",
 )
 def check_determinism(ctx: FileContext) -> Iterator[Violation]:
-    if not ctx.in_package_dirs(*_SCOPED_DIRS):
+    in_model = ctx.in_package_dirs(*_MODEL_DIRS)
+    in_exec = ctx.in_package_dirs(*_EXEC_DIRS)
+    if not (in_model or in_exec):
         return
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Call):
@@ -59,11 +77,18 @@ def check_determinism(ctx: FileContext) -> Iterator[Violation]:
             continue
         where = (node.lineno, node.col_offset + 1)
         if target in _WALL_CLOCKS:
-            yield (*where, f"{target}() reads the wall clock in model code; "
-                   "model outputs must be pure functions of their inputs")
+            if in_model:
+                yield (*where, f"{target}() reads the wall clock in model code; "
+                       "model outputs must be pure functions of their inputs")
         elif target.startswith("random."):
-            yield (*where, f"{target}() uses the global stdlib RNG; derive a "
-                   "seeded numpy Generator from the model's inputs instead")
+            hint = (
+                "derive deterministic jitter from the seeded LFSR and the "
+                "unit id (repro.runner.engine.jitter_unit) instead"
+                if in_exec
+                else "derive a seeded numpy Generator from the model's "
+                "inputs instead"
+            )
+            yield (*where, f"{target}() uses the global stdlib RNG; {hint}")
         elif target.startswith("numpy.random."):
             tail = target[len("numpy.random."):]
             if tail == "default_rng":

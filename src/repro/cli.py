@@ -20,7 +20,14 @@ Commands
     checkpointed so interrupted runs resume and failures isolate.
 ``sweep --workload W [--out DIR] [...]``
     Evaluate the full design space point by point through the
-    resilient runner.
+    resilient runner.  Without ``--out`` the sweep lands in a
+    deterministic ``runs/sweep-<workload>-<hash>`` directory (same
+    sweep = same directory, so re-runs resume instead of scattering
+    journal files in the cwd).
+``serve --store DIR [--port P] [--workers N]``
+    Answer evaluate/TPI/sweep/envelope queries over HTTP with
+    content-addressed memoization, request coalescing, admission
+    control, and a circuit breaker; see ``docs/api.md``.
 ``lint [paths] [--format json] [--select ...] [--ignore ...]``
     Run the repro static-analysis checkers (atomic writes,
     determinism, error policy, pool picklability, geometry literals,
@@ -31,15 +38,18 @@ Commands
     sidecar and ``MANIFEST.json``; exit 0 clean, 1 findings.
     ``--repair`` quarantines corrupt artefacts and replays the
     affected runs from their ``RUN.json`` recipes.
-``chaos --out DIR [--seed N] [--rounds N]``
+``chaos --out DIR [--seed N] [--rounds N] [--serve]``
     Seeded chaos soak: run a report repeatedly under randomized (but
     seed-reproducible) fault schedules plus direct bit rot, then
     verify the repaired tree converges byte-identical to a clean run;
-    exit 0 converged, 1 diverged.
+    exit 0 converged, 1 diverged.  With ``--serve`` the soak targets a
+    live ``repro serve`` instance instead: pool kills, poisoned memo
+    entries, and slow workers must never produce a wrong answer or an
+    untyped failure.
 
-``report``, ``sweep``, ``lint``, ``verify``, and ``chaos`` accept
-``--workers N`` (or ``--workers auto``) to fan units out over worker
-processes with identical output.
+``report``, ``sweep``, ``lint``, ``verify``, ``chaos``, and ``serve``
+accept ``--workers N`` (or ``--workers auto``) to fan units out over
+worker processes with identical output.
 
 Library failures (:class:`~repro.errors.ReproError`) print a one-line
 ``error: …`` to stderr and exit with code 2; pass ``--debug`` for the
@@ -59,11 +69,13 @@ from .cache.hierarchy import Policy
 from .core.config import SystemConfig
 from .core.envelope import best_envelope
 from .core.evaluate import evaluate
-from .core.explorer import as_point, design_space, run_sweep, run_sweep_dir, sweep
-from .errors import LintError, ReproError
+from .core.explorer import default_sweep_dir, design_space, run_sweep_dir, sweep
+from .errors import IntegrityError, LintError, ReproError
 from .runner import verify_tree
+from .serve import ServePolicy, run_serve
 from .study import experiment_ids, get_experiment
 from .study.chaos import run_chaos
+from .study.serve_chaos import run_serve_chaos
 from .study.plot import plot_experiment
 from .study.repair import verify_and_repair
 from .study.report import render_table
@@ -205,29 +217,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     template = _config_from(args)
-    if args.out:
-        run, points = run_sweep_dir(
-            args.out,
-            args.workload,
-            template,
-            scale=args.scale,
-            keep_going=args.keep_going,
-            timeout_s=args.timeout,
-            retries=args.retries,
-            resume=args.resume,
-            workers=args.workers,
-        )
-    else:
-        run = run_sweep(
-            args.workload,
-            design_space(template),
-            scale=args.scale,
-            keep_going=args.keep_going,
-            timeout_s=args.timeout,
-            retries=args.retries,
-            workers=args.workers,
-        )
-        points = [as_point(value) for value in run.values()]
+    # Every sweep gets a managed run directory: --out names it, else
+    # the deterministic default (same sweep = same directory, so a
+    # re-run resumes it instead of scattering journals in the cwd).
+    out = Path(args.out) if args.out else default_sweep_dir(
+        args.workload, template, args.scale
+    )
+    run, points = run_sweep_dir(
+        out,
+        args.workload,
+        template,
+        scale=args.scale,
+        keep_going=args.keep_going,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        resume=args.resume,
+        workers=args.workers,
+    )
+    if not args.out:
+        print(f"sweep directory: {out}")
     rows = [(p.label, p.area_rbe, p.tpi_ns, p.levels) for p in points]
     print(render_table(("config", "area_rbe", "tpi_ns", "levels"), rows))
     if run.failed:
@@ -239,6 +247,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    target = Path(args.directory)
+    if not target.is_dir():
+        raise IntegrityError(
+            f"{args.directory}: not a directory; verify needs a results "
+            f"tree written by repro report/sweep/serve"
+        )
     if args.repair:
         outcome = verify_and_repair(args.directory, workers=args.workers)
         if args.format == "json":
@@ -247,6 +261,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(outcome.render())
         return 0 if outcome.clean else 1
     report = verify_tree(args.directory, repair=False)
+    if report.n_directories == 0:
+        # An empty (or never-managed) tree verifying "clean" would be
+        # a silently meaningless success; refuse it as a typed error.
+        raise IntegrityError(
+            f"{args.directory}: no integrity records found — nothing to "
+            f"verify; was this directory written by repro report/sweep/serve?"
+        )
     if args.format == "json":
         print(json.dumps(report.to_record(), indent=2))
     else:
@@ -255,6 +276,19 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.serve:
+        serve_result = run_serve_chaos(
+            args.out,
+            seed=args.seed,
+            rounds=args.rounds,
+            workers=args.workers if args.workers is not None else 2,
+            scale=args.scale,
+        )
+        if args.format == "json":
+            print(json.dumps(serve_result.to_record(), indent=2))
+        else:
+            print(serve_result.render())
+        return 0 if serve_result.passed else 1
     ids = args.ids.split(",") if args.ids else None
     result = run_chaos(
         args.out,
@@ -269,6 +303,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     else:
         print(result.render())
     return 0 if result.converged else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    policy = ServePolicy(
+        deadline_s=args.deadline,
+        max_active=args.max_active,
+        max_waiting=args.max_waiting,
+    )
+    return run_serve(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        policy=policy,
+    )
 
 
 #: Default lint targets, filtered to those that exist under the cwd.
@@ -432,6 +481,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "chaos", help="seeded fault-injection soak with convergence check"
     )
     chaos.add_argument("--out", required=True, help="soak output directory")
+    chaos.add_argument(
+        "--serve",
+        action="store_true",
+        help="soak a live repro serve instance (pool kills, poisoned memo "
+        "entries, slow workers) instead of the batch report path",
+    )
     chaos.add_argument("--seed", type=int, default=0, help="RNG seed")
     chaos.add_argument(
         "--rounds", type=int, default=4, help="faulted report passes (default: 4)"
@@ -455,6 +510,46 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the report passes ('auto' = one per CPU)",
     )
     chaos.set_defaults(func=_cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve", help="answer design-space queries over HTTP (see docs/api.md)"
+    )
+    serve.add_argument(
+        "--store",
+        default="serve-store",
+        help="memo store + journal directory (default: serve-store)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787)
+    serve.add_argument(
+        "--workers",
+        default="auto",
+        metavar="N",
+        help="compute pool size ('auto' = one per CPU, 'serial' = in-process; "
+        "default: auto)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="per-request compute budget in seconds (default: 60)",
+    )
+    serve.add_argument(
+        "--max-active",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent cold-compute requests before queueing (default: 4)",
+    )
+    serve.add_argument(
+        "--max-waiting",
+        type=int,
+        default=16,
+        metavar="N",
+        help="queued cold-compute requests before shedding (default: 16)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     lint = sub.add_parser(
         "lint", help="run the repro static-analysis checkers"

@@ -27,6 +27,7 @@ from ..runner import (
     RunResult,
     RunUnit,
     resolve_workers,
+    unit_key,
     untrack,
     write_manifest,
     write_text_atomic,
@@ -42,6 +43,7 @@ __all__ = [
     "standard_l1_sizes",
     "standard_l2_sizes",
     "design_space",
+    "default_sweep_dir",
     "sweep",
     "run_sweep",
     "run_sweep_dir",
@@ -318,6 +320,30 @@ def run_sweep(
             watchdog=watchdog,
         )
     return runner.run(units)
+
+
+def default_sweep_dir(
+    workload: str, template: SystemConfig, scale: Optional[float] = None
+) -> Path:
+    """The run directory a sweep gets when the caller names none.
+
+    Resolution rule (documented in ``docs/api.md``): sweeps without an
+    explicit output directory land under ``runs/`` in the working
+    directory, named ``sweep-<workload>-<hash12>`` where the hash is
+    the content key of the sweep's full configuration (workload, scale,
+    template).  The name is *deterministic*: re-running the same sweep
+    resumes the same directory instead of scattering journal files in
+    the cwd, and two different sweeps can never collide.
+    """
+    key = unit_key(
+        {
+            "kind": "sweep",
+            "workload": workload,
+            "scale": scale,
+            "config": template.to_dict(),
+        }
+    )
+    return Path("runs") / f"sweep-{workload}-{key[:12]}"
 
 
 def run_sweep_dir(

@@ -18,6 +18,7 @@ __all__ = [
     "CheckpointError",
     "IntegrityError",
     "ResourceError",
+    "ServeError",
     "UnitTimeoutError",
     "LintError",
 ]
@@ -81,6 +82,26 @@ class ResourceError(RunnerError):
     watchdog's preflight requires, or a worker's RSS high-water mark
     exceeded the configured ceiling.
     """
+
+
+class ServeError(ReproError):
+    """A request to the sweep service could not be served.
+
+    Carries the HTTP semantics the service maps library failures onto:
+    ``status`` is the response code and ``retry_after_s``, when set, is
+    surfaced as a ``Retry-After`` header so well-behaved clients back
+    off instead of hammering an overloaded or broken service.  Concrete
+    conditions (malformed request, load shed, open circuit breaker,
+    blown deadline) are subclasses defined by :mod:`repro.serve`.
+    """
+
+    status: int = 500
+    retry_after_s: "float | None" = None
+
+    def __init__(self, message: str, *, retry_after_s: "float | None" = None):
+        super().__init__(message)
+        if retry_after_s is not None:
+            self.retry_after_s = retry_after_s
 
 
 class LintError(ReproError):

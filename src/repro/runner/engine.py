@@ -28,6 +28,7 @@ loop so all four behaviours are testable.
 
 from __future__ import annotations
 
+import hashlib
 import signal
 import threading
 import time
@@ -36,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import RunnerError, UnitTimeoutError
+from ..lfsr import Lfsr16
 from . import faults
 from .journal import RunJournal, unit_key
 
@@ -47,6 +49,7 @@ __all__ = [
     "Runner",
     "error_record",
     "execute_attempts",
+    "jitter_unit",
     "resume_outcome",
     "unit_timeout",
 ]
@@ -54,31 +57,66 @@ __all__ = [
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded retries with exponential backoff.
+    """Bounded retries with exponential backoff and deterministic jitter.
 
     ``max_attempts`` counts the first try: 1 means no retries.
     Timeouts (:class:`~repro.errors.UnitTimeoutError`) are never
     retried — a unit that blows its wall-clock budget is pathological,
     not transient.
+
+    ``jitter`` (a fraction in [0, 1]) spreads the retry storms of
+    concurrent units apart by shortening each delay by up to that
+    fraction of its exponential base.  The spread is *deterministic*
+    and REP002-clean: it derives from a :class:`~repro.lfsr.Lfsr16`
+    seeded by the unit id, never from the global RNG or the wall
+    clock — two runs of the same unit always back off identically,
+    while different units desynchronise.
     """
 
     max_attempts: int = 1
     backoff_s: float = 0.05
     backoff_factor: float = 2.0
     max_backoff_s: float = 5.0
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise RunnerError("retry policy needs max_attempts >= 1")
         if self.backoff_s < 0 or self.backoff_factor < 1 or self.max_backoff_s < 0:
             raise RunnerError("retry backoff parameters must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise RunnerError("retry jitter must be a fraction in [0, 1]")
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before the retry following failed attempt ``attempt``."""
-        return min(
+    def delay(self, attempt: int, token: str = "") -> float:
+        """Backoff before the retry following failed attempt ``attempt``.
+
+        ``token`` (normally the unit id) seeds the jitter; with
+        ``jitter=0`` (the default) it is ignored and the delay is the
+        plain exponential schedule, exactly as before.
+        """
+        base = min(
             self.backoff_s * self.backoff_factor ** (attempt - 1),
             self.max_backoff_s,
         )
+        if not self.jitter or base <= 0:
+            return base
+        return base * (1.0 - self.jitter * jitter_unit(token, attempt))
+
+
+def jitter_unit(token: str, attempt: int) -> float:
+    """A deterministic pseudo-random fraction in [0, 1) for backoff jitter.
+
+    Seeds a 16-bit LFSR from a sha256 of ``token`` and steps it once
+    per attempt, so the (token, attempt) pair fully determines the
+    value — the property the REP002 determinism audit enforces for
+    every backoff path (the engine here, and the serve retry loop).
+    """
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    seed = int.from_bytes(digest[:2], "big") or 0xACE1
+    register = Lfsr16(seed)
+    for _ in range(max(1, attempt)):
+        register.step()
+    return register.state / float(1 << 16)
 
 
 @dataclass(frozen=True)
@@ -260,7 +298,7 @@ def execute_attempts(
             elapsed = time.monotonic() - started
             transient = not isinstance(error, UnitTimeoutError)
             if transient and attempts < retry.max_attempts:
-                sleep(retry.delay(attempts))
+                sleep(retry.delay(attempts, unit.unit_id))
                 continue
             record = error_record(unit, error, attempts, elapsed)
             return UnitOutcome(

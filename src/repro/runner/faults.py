@@ -20,6 +20,9 @@ Specification grammar (comma-separated, e.g.
     partial=<unit>[:<bytes>]  keep only <bytes> bytes of <unit>'s artefact
     enospc=<unit>[:<times>]   fail <unit>'s artefact writes with ENOSPC
     killworker=<unit>         hard-kill the pool worker running <unit>
+    slowworker=<unit>[:<s>]   sleep before *every* attempt of <unit>
+    pooldeath=<unit>[:<times>] hard-kill the worker running <unit>, <times> times
+    poisonmemo=<key>[:<times>] bit-rot a memo-store entry after it is written
 
 ``corrupt``/``bitflip``/``partial`` emulate damage that *bypassed* the
 atomic-rename discipline (a torn write, silent media bit rot), so
@@ -30,6 +33,16 @@ retryable ``CheckpointError`` the real condition produces.
 ``killworker`` terminates the *worker process* with ``os._exit`` — the
 parent sees a broken pool, exactly like an OOM kill; outside a pool
 worker it is a no-op (there is no worker to kill).
+
+The serve-side kinds (``slowworker``/``pooldeath``/``poisonmemo``)
+exercise ``repro serve``: request unit ids are canonical config hashes
+a test cannot predict, so these three accept ``*`` to match any unit.
+``slowworker`` is ``delay`` that fires on *every* attempt (driving a
+request past its deadline so the 504 path is reachable); ``pooldeath``
+is a times-bounded ``killworker`` (the service must rebuild its pool
+mid-request); ``poisonmemo`` flips a bit in a just-written memo-store
+artefact *after* its sidecar was recorded — the poisoned entry must be
+detected on read, quarantined, and never served.
 
 Unit ids may themselves contain colons (sweep units look like
 ``0007:8:64``): the optional argument is split off at the *last* colon,
@@ -64,6 +77,7 @@ __all__ = [
     "current_unit",
     "check_write",
     "damage_artifact",
+    "damage_memo",
     "maybe_corrupt_file",
 ]
 
@@ -101,6 +115,12 @@ class FaultPlan:
     enospc_unit: Optional[str] = None
     enospc_times: int = 1
     killworker_unit: Optional[str] = None
+    slowworker_unit: Optional[str] = None
+    slowworker_s: float = 0.5
+    pooldeath_unit: Optional[str] = None
+    pooldeath_times: int = 1
+    poisonmemo_unit: Optional[str] = None
+    poisonmemo_times: int = 1
 
 
 _installed: Optional[FaultPlan] = None
@@ -150,10 +170,25 @@ def parse_plan(spec: str) -> FaultPlan:
                 )
             elif key == "killworker":
                 plan = replace(plan, killworker_unit=value)
+            elif key == "slowworker":
+                plan = replace(
+                    plan,
+                    slowworker_unit=unit,
+                    slowworker_s=float(arg) if arg else 0.5,
+                )
+            elif key == "pooldeath":
+                plan = replace(
+                    plan, pooldeath_unit=unit, pooldeath_times=int(arg) if arg else 1
+                )
+            elif key == "poisonmemo":
+                plan = replace(
+                    plan, poisonmemo_unit=unit, poisonmemo_times=int(arg) if arg else 1
+                )
             else:
                 raise RunnerError(
                     f"unknown fault kind {key!r}; expected fail/crash/delay/corrupt/"
-                    f"bitflip/partial/enospc/killworker"
+                    f"bitflip/partial/enospc/killworker/slowworker/pooldeath/"
+                    f"poisonmemo"
                 )
         except ValueError:
             raise RunnerError(f"bad fault argument in {part!r}") from None
@@ -210,6 +245,11 @@ def current_unit() -> Optional[str]:
     return _current_unit
 
 
+def _matches(spec: Optional[str], unit_id: str) -> bool:
+    """True when a fault spec names ``unit_id`` (``*`` matches any)."""
+    return spec is not None and (spec == "*" or spec == unit_id)
+
+
 def before_unit(unit_id: str) -> None:
     """Fault hook called by the engine before each unit attempt."""
     plan = active_plan()
@@ -222,10 +262,24 @@ def before_unit(unit_id: str) -> None:
             os._exit(86)
         # No worker to kill in the main process; the fault is a no-op so
         # a degraded-to-serial rerun of the same unit can complete.
+    if (
+        _matches(plan.pooldeath_unit, unit_id)
+        and multiprocessing.parent_process() is not None
+        and _fires("pooldeath", "*", plan.pooldeath_times)
+    ):
+        # Same mechanics as killworker, but times-bounded and wildcard-
+        # addressable: the serve path must survive repeated pool deaths
+        # by rebuilding its executor, so the soak needs more than one.
+        os._exit(86)
     if plan.crash_unit == unit_id:
         raise InjectedCrash(f"injected crash before unit {unit_id}")
     if plan.delay_unit == unit_id and plan.delay_s > 0:
         time.sleep(plan.delay_s)
+    if _matches(plan.slowworker_unit, unit_id) and plan.slowworker_s > 0:
+        # Unlike ``delay`` this fires on *every* attempt: a persistently
+        # slow worker, not a one-off stall — what drives a served
+        # request past its deadline however often it is retried.
+        time.sleep(plan.slowworker_s)
     if plan.fail_unit == unit_id and _fires("fail", unit_id, plan.fail_times):
         count = _fire_counts[("fail", unit_id)]
         raise InjectedFault(
@@ -281,6 +335,30 @@ def damage_artifact(unit_id: str, path: Union[str, Path]) -> None:
             keep = len(data) // 2
         # repro: lint-ok[REP001] deliberately truncates the artefact to a prefix, emulating a short write that dodged fsync
         path.write_bytes(data[:keep])
+
+
+def damage_memo(key: str, path: Union[str, Path]) -> None:
+    """Poison a memo-store entry — called by the store *after* writing.
+
+    Fires when the plan's ``poisonmemo`` spec names ``key`` (or ``*``),
+    flipping one bit in the artefact body while leaving the sha256
+    sidecar describing the healthy bytes.  That is exactly the damage
+    shape of post-write bit rot: the next integrity-verified read must
+    detect the mismatch, quarantine the entry, and recompute — a
+    poisoned entry must never be served.
+    """
+    plan = active_plan()
+    if plan is None or not _matches(plan.poisonmemo_unit, key):
+        return
+    if not _fires("poisonmemo", "*", plan.poisonmemo_times):
+        return
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        return
+    data[len(data) // 2] ^= 0x01
+    # repro: lint-ok[REP001] deliberately rots the memo entry behind the atomic layer; detecting it on read is what the serve soak proves
+    path.write_bytes(bytes(data))
 
 
 #: Backwards-compatible alias: the original hook only knew ``corrupt``.

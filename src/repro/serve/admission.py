@@ -1,0 +1,68 @@
+"""Bounded-queue admission control with load shedding.
+
+Admission is *request-level*: only requests that need cold compute
+acquire a ticket (memo hits cost microseconds and are never shed).
+``max_active`` tickets execute concurrently; up to ``max_waiting``
+more may queue behind them.  A request arriving past both bounds is
+**shed** immediately — a 503 with ``Retry-After`` — because admitting
+it would only grow every admitted request's latency until all clients
+time out together.  The shed hint scales with queue depth, so clients
+back off harder the deeper the overload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+from typing import AsyncIterator
+
+from ..errors import RunnerError
+from .errors import ShedError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Semaphore-bounded compute admission with an explicit queue cap."""
+
+    def __init__(
+        self,
+        max_active: int = 4,
+        max_waiting: int = 16,
+        retry_after_s: float = 1.0,
+    ):
+        if max_active < 1:
+            raise RunnerError("admission max_active must be >= 1")
+        if max_waiting < 0:
+            raise RunnerError("admission max_waiting must be non-negative")
+        if retry_after_s <= 0:
+            raise RunnerError("admission retry_after_s must be positive")
+        self.max_active = max_active
+        self.max_waiting = max_waiting
+        self.retry_after_s = retry_after_s
+        self._semaphore = asyncio.Semaphore(max_active)
+        self.active = 0
+        self.waiting = 0
+        self.shed = 0
+
+    @asynccontextmanager
+    async def slot(self) -> AsyncIterator[None]:
+        """Hold one compute ticket; sheds instead of queueing unboundedly."""
+        if self.active >= self.max_active and self.waiting >= self.max_waiting:
+            self.shed += 1
+            raise ShedError(
+                f"compute queue full ({self.active} active, "
+                f"{self.waiting} waiting); request shed",
+                retry_after_s=self.retry_after_s * (1 + self.waiting),
+            )
+        self.waiting += 1
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self.waiting -= 1
+        self.active += 1
+        try:
+            yield
+        finally:
+            self.active -= 1
+            self._semaphore.release()

@@ -1,0 +1,623 @@
+"""`repro serve` — the fault-tolerant sweep-as-a-service front end.
+
+One :class:`ServeApp` owns a plain-asyncio HTTP/1.1 server (stdlib
+only, ``Connection: close`` per request) and answers design-space
+queries through a three-tier resolution path, cheapest first:
+
+1. **memoized** — an integrity-verified read of a prior result from the
+   content-addressed :class:`~repro.serve.memo.MemoStore`; corrupt
+   entries are quarantined and demoted to cold, never served;
+2. **coalesced** — an identical request already in flight is awaited
+   (:class:`~repro.serve.singleflight.SingleFlight`), one computation
+   however many clients ask;
+3. **cold** — the computation is admitted through a bounded queue
+   (:class:`~repro.serve.admission.AdmissionController`, shedding with
+   503 + Retry-After when full), gated by a
+   :class:`~repro.serve.breaker.CircuitBreaker`, fanned to a reusable
+   process pool with deterministic exponential-backoff retries, and
+   bounded by a per-request deadline (504 + Retry-After).
+
+The fault-tolerance ladder for the backend: a broken pool is rebuilt
+and the attempt retried; repeated pool deaths (or a worker breaching
+the :class:`~repro.runner.watchdog.ResourceWatchdog` RSS ceiling)
+degrade the service to serial in-process execution — slower but
+available — with ``degraded_reason`` surfaced on ``/healthz`` and in
+the journal; persistent failures open the breaker, converting every
+doomed request into an immediate honest 503.
+
+Correctness contract: a 200 body is exactly the canonical JSON of the
+point record — a pure function of the normalized request — so memo
+hits, coalesced waits, and cold computes are byte-identical to a fresh
+serial evaluation.  The serving tier is reported out-of-band in the
+``X-Repro-Source`` header.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import ReproError, RunnerError, ServeError
+from ..runner import (
+    ResourceWatchdog,
+    RetryPolicy,
+    RunJournal,
+    resolve_workers,
+)
+from .admission import AdmissionController
+from .breaker import CircuitBreaker
+from .compute import (
+    canonical_json,
+    compute_point,
+    envelope_records,
+    normalize_point,
+    normalize_sweep,
+    point_key,
+    tpi_record,
+)
+from .errors import (
+    BadRequestError,
+    DeadlineError,
+    NotFoundError,
+    OversizeError,
+    UpstreamError,
+)
+from .memo import MEMO_DIR, MemoStore
+from .singleflight import SingleFlight
+
+__all__ = ["SERVE_JOURNAL_NAME", "ServePolicy", "ServeApp", "run_serve"]
+
+#: The serve store's request journal (volatile artefact, like every
+#: other ``*.journal.jsonl``).
+SERVE_JOURNAL_NAME = "serve.journal.jsonl"
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass(frozen=True)
+class ServePolicy:
+    """Operating limits of one serve instance.
+
+    ``max_active``/``max_waiting`` bound the cold-compute request queue
+    (beyond which requests are shed); ``deadline_s`` is the per-request
+    compute budget; ``retries`` the extra attempts a cold compute gets
+    (backoff jitter derives from the seeded LFSR and the canonical
+    key — REP002-clean); ``pool_death_limit`` the pool rebuilds
+    tolerated before degrading to serial execution.
+    """
+
+    max_active: int = 4
+    max_waiting: int = 16
+    deadline_s: float = 60.0
+    #: One more attempt than ``pool_death_limit``: a request whose pool
+    #: dies repeatedly still has an attempt left *after* the service
+    #: degrades to serial, so the degradation ladder completes the
+    #: request instead of bouncing it back to the client.
+    retries: int = 2
+    backoff_s: float = 0.05
+    breaker_threshold: int = 4
+    breaker_cooldown_s: float = 2.0
+    retry_after_s: float = 1.0
+    max_body_bytes: int = 1 << 20
+    pool_death_limit: int = 2
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise RunnerError("serve deadline_s must be positive")
+        if self.retries < 0:
+            raise RunnerError("serve retries must be non-negative")
+        if self.pool_death_limit < 1:
+            raise RunnerError("serve pool_death_limit must be >= 1")
+
+
+class ServeApp:
+    """The service: HTTP front end, three-tier resolution, fault walls."""
+
+    def __init__(
+        self,
+        store: Union[str, Path],
+        *,
+        workers: Union[None, int, str] = None,
+        policy: Optional[ServePolicy] = None,
+        watchdog: Optional[ResourceWatchdog] = None,
+    ):
+        self.store_dir = Path(store)
+        self.store_dir.mkdir(parents=True, exist_ok=True)
+        self.policy = policy if policy is not None else ServePolicy()
+        self.watchdog = watchdog if watchdog is not None else ResourceWatchdog()
+        self.watchdog.preflight_disk(self.store_dir)
+        self.n_workers = resolve_workers(workers)
+        self.memo = MemoStore(self.store_dir / MEMO_DIR)
+        self.flight = SingleFlight()
+        self.breaker = CircuitBreaker(
+            threshold=self.policy.breaker_threshold,
+            cooldown_s=self.policy.breaker_cooldown_s,
+        )
+        self.admission = AdmissionController(
+            max_active=self.policy.max_active,
+            max_waiting=self.policy.max_waiting,
+            retry_after_s=self.policy.retry_after_s,
+        )
+        self.journal = RunJournal.open(self.store_dir / SERVE_JOURNAL_NAME, resume=True)
+        self.retry = RetryPolicy(
+            max_attempts=self.policy.retries + 1,
+            backoff_s=self.policy.backoff_s,
+            jitter=0.5,
+        )
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.port: Optional[int] = None
+        self.pool_deaths = 0
+        self.degraded_reason: Optional[str] = None
+        self.stats: Dict[str, int] = {
+            "requests": 0,
+            "memo": 0,
+            "cold": 0,
+            "coalesced": 0,
+            "timeouts": 0,
+            "errors": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Compute backend: pool lifecycle, degradation, cold resolution.
+
+    def _backend(self) -> Optional[Executor]:
+        """The executor cold computes run on; None means in-process serial."""
+        if self.n_workers is None or self.degraded_reason is not None:
+            return None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _degrade(self, reason: str) -> None:
+        """One-way fallback to serial execution; stays visible on /healthz."""
+        if self.degraded_reason is None:
+            self.degraded_reason = reason
+        self._discard_pool()
+
+    def reset_backend(self) -> None:
+        """Forget pool, degradation, and breaker state (chaos harness).
+
+        A freshly built pool also re-reads ``REPRO_FAULTS`` — workers
+        inherit the environment at creation time, so a soak round that
+        changes the fault plan must rebuild the backend.
+        """
+        self._discard_pool()
+        self.pool_deaths = 0
+        self.degraded_reason = None
+        self.breaker.record_success()
+
+    async def _submit(self, request: dict) -> dict:
+        loop = asyncio.get_running_loop()
+        backend = self._backend()
+        if backend is None:
+            # Degraded/serial: the default thread executor keeps the
+            # event loop (health checks, shedding) responsive.
+            return await loop.run_in_executor(None, compute_point, request)
+        return await loop.run_in_executor(backend, compute_point, request)
+
+    async def _compute_cold(self, key: str, request: dict) -> dict:
+        """One admitted cold computation: retries, pool healing, journal."""
+        started = time.monotonic()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                reply = await self._submit(request)
+            except BrokenProcessPool as error:
+                failure: BaseException = error
+                self.pool_deaths += 1
+                self.breaker.record_failure()
+                self._discard_pool()
+                if self.pool_deaths >= self.policy.pool_death_limit:
+                    self._degrade(
+                        f"worker pool died {self.pool_deaths} times; "
+                        f"degraded to serial execution"
+                    )
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # transient compute failure
+                failure = error
+                self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
+                rss = reply.get("rss_bytes")
+                if self.watchdog.over_rss(rss):
+                    self._degrade(
+                        f"worker peak RSS {rss} bytes exceeded the "
+                        f"{self.watchdog.policy.max_worker_rss_bytes}-byte "
+                        f"watchdog ceiling; degraded to serial execution"
+                    )
+                record = reply["record"]
+                self.memo.store(key, record)
+                self.stats["cold"] += 1
+                self.journal.record(
+                    key,
+                    key,
+                    "ok",
+                    attempts=attempts,
+                    elapsed_s=time.monotonic() - started,
+                    result={
+                        "source": "cold",
+                        "label": record.get("label"),
+                        "workload": record.get("workload"),
+                        "degraded_reason": self.degraded_reason,
+                    },
+                )
+                return record
+            if attempts < self.retry.max_attempts:
+                # Deterministic backoff: jitter derives from the seeded
+                # LFSR and the canonical key, never the global RNG.
+                await asyncio.sleep(self.retry.delay(attempts, key))
+                continue
+            self.journal.record(
+                key,
+                key,
+                "failed",
+                attempts=attempts,
+                elapsed_s=time.monotonic() - started,
+                error={
+                    "unit": key,
+                    "type": type(failure).__name__,
+                    "message": str(failure),
+                    "degraded_reason": self.degraded_reason,
+                },
+            )
+            raise UpstreamError(
+                f"compute for {key} failed after {attempts} attempt(s): "
+                f"{failure}",
+                retry_after_s=self.policy.retry_after_s,
+            )
+
+    async def _resolve_point(self, config: Any, workload: str, scale: Any) -> Tuple[str, dict, str]:
+        """Three-tier resolution of one point (caller already admitted)."""
+        key = point_key(config, workload, scale)
+        record = self.memo.load(key)
+        if record is not None:
+            self.stats["memo"] += 1
+            return key, record, "memo"
+        request = {
+            "key": key,
+            "config": config.to_dict(),
+            "workload": workload,
+            "scale": scale,
+        }
+        record, leader = await self.flight.run(
+            key, lambda: self._compute_cold(key, request)
+        )
+        if not leader:
+            self.stats["coalesced"] += 1
+        return key, record, "cold" if leader else "coalesced"
+
+    async def _with_deadline(self, awaitable: Any) -> Any:
+        try:
+            return await asyncio.wait_for(awaitable, timeout=self.policy.deadline_s)
+        except asyncio.TimeoutError:
+            self.stats["timeouts"] += 1
+            raise DeadlineError(
+                f"request exceeded its {self.policy.deadline_s:g}s deadline "
+                f"(the computation continues and will be memoized)",
+                retry_after_s=self.policy.retry_after_s,
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Handlers.
+
+    async def _handle_point(self, payload: Any, project_tpi: bool) -> Tuple[int, bytes, Dict[str, str]]:
+        config, workload, scale = normalize_point(payload)
+
+        async def resolve() -> Tuple[str, dict, str]:
+            key = point_key(config, workload, scale)
+            record = self.memo.load(key)
+            if record is not None:
+                self.stats["memo"] += 1
+                return key, record, "memo"
+            self.breaker.check()
+            async with self.admission.slot():
+                return await self._resolve_point(config, workload, scale)
+
+        key, record, source = await self._with_deadline(resolve())
+        body = canonical_json(tpi_record(record) if project_tpi else record)
+        return 200, body.encode("utf-8"), {
+            "X-Repro-Source": source,
+            "X-Repro-Key": key,
+        }
+
+    async def _handle_evaluate(self, payload: Any) -> Tuple[int, bytes, Dict[str, str]]:
+        return await self._handle_point(payload, project_tpi=False)
+
+    async def _handle_tpi(self, payload: Any) -> Tuple[int, bytes, Dict[str, str]]:
+        return await self._handle_point(payload, project_tpi=True)
+
+    async def _resolve_many(self, payload: Any) -> Tuple[List[dict], str, Dict[str, int]]:
+        configs, workload, scale = normalize_sweep(payload)
+
+        async def resolve() -> List[Tuple[str, dict, str]]:
+            warm = all(
+                self.memo.path(point_key(c, workload, scale)).exists()
+                for c in configs
+            )
+            if warm:
+                # Likely all memoized — resolve without a ticket; any
+                # entry that fails verification still computes cold
+                # (unadmitted, but rare by construction).
+                return list(
+                    await asyncio.gather(
+                        *(self._resolve_point(c, workload, scale) for c in configs)
+                    )
+                )
+            # One admission ticket per *request*: the fan-out below is
+            # bounded by the pool, not the request queue.
+            self.breaker.check()
+            async with self.admission.slot():
+                return list(
+                    await asyncio.gather(
+                        *(self._resolve_point(c, workload, scale) for c in configs)
+                    )
+                )
+
+        resolved = await self._with_deadline(resolve())
+        sources: Dict[str, int] = {}
+        for _, _, source in resolved:
+            sources[source] = sources.get(source, 0) + 1
+        return [record for _, record, _ in resolved], workload, sources
+
+    async def _handle_sweep(self, payload: Any) -> Tuple[int, bytes, Dict[str, str]]:
+        records, workload, sources = await self._resolve_many(payload)
+        body = canonical_json(
+            {
+                "schema": 1,
+                "kind": "sweep",
+                "workload": workload,
+                "points": records,
+            }
+        )
+        headers = {"X-Repro-Sources": json.dumps(sources, sort_keys=True)}
+        return 200, body.encode("utf-8"), headers
+
+    async def _handle_envelope(self, payload: Any) -> Tuple[int, bytes, Dict[str, str]]:
+        records, workload, sources = await self._resolve_many(payload)
+        body = canonical_json(
+            {
+                "schema": 1,
+                "kind": "envelope",
+                "workload": workload,
+                "points": envelope_records(records),
+            }
+        )
+        headers = {"X-Repro-Sources": json.dumps(sources, sort_keys=True)}
+        return 200, body.encode("utf-8"), headers
+
+    def health(self) -> dict:
+        """The /healthz document (also used directly by tests)."""
+        return {
+            "schema": 1,
+            "status": "degraded" if self.degraded_reason else "ok",
+            "degraded_reason": self.degraded_reason,
+            "breaker": self.breaker.state,
+            "workers": self.n_workers or 0,
+            "pool_deaths": self.pool_deaths,
+            "memo": {
+                "hits": self.memo.hits,
+                "misses": self.memo.misses,
+                "quarantined": self.memo.quarantined,
+                "entries": len(self.memo),
+            },
+            "admission": {
+                "active": self.admission.active,
+                "waiting": self.admission.waiting,
+                "shed": self.admission.shed,
+            },
+            "requests": dict(self.stats),
+        }
+
+    async def _handle_health(self, payload: Any) -> Tuple[int, bytes, Dict[str, str]]:
+        return 200, canonical_json(self.health()).encode("utf-8"), {}
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing (stdlib asyncio streams; one request per connection).
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        try:
+            line = await reader.readline()
+        except ValueError:
+            raise BadRequestError("request line too long") from None
+        if not line:
+            raise ConnectionError("client closed before sending a request")
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise BadRequestError("malformed HTTP request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        for _ in range(100):
+            try:
+                raw = await reader.readline()
+            except ValueError:
+                raise BadRequestError("request header too long") from None
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        else:
+            raise BadRequestError("too many request headers")
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise BadRequestError("malformed Content-Length header") from None
+        if length < 0:
+            raise BadRequestError("negative Content-Length")
+        if length > self.policy.max_body_bytes:
+            raise OversizeError(
+                f"request body of {length} bytes exceeds the "
+                f"{self.policy.max_body_bytes}-byte limit"
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        path = target.partition("?")[0]
+        routes = {
+            ("GET", "/healthz"): self._handle_health,
+            ("POST", "/v1/evaluate"): self._handle_evaluate,
+            ("POST", "/v1/tpi"): self._handle_tpi,
+            ("POST", "/v1/sweep"): self._handle_sweep,
+            ("POST", "/v1/envelope"): self._handle_envelope,
+        }
+        handler = routes.get((method, path))
+        if handler is None:
+            raise NotFoundError(f"no handler for {method} {path}")
+        if method == "POST":
+            try:
+                payload = json.loads(body) if body else {}
+            except json.JSONDecodeError:
+                raise BadRequestError("request body is not valid JSON") from None
+        else:
+            payload = None
+        return await handler(payload)
+
+    @staticmethod
+    def _error_body(error: BaseException, status: int) -> Tuple[bytes, Dict[str, str]]:
+        document = {
+            "error": {
+                "type": type(error).__name__,
+                "message": str(error),
+                "status": status,
+            }
+        }
+        headers: Dict[str, str] = {}
+        retry_after = getattr(error, "retry_after_s", None)
+        if retry_after is not None:
+            headers["Retry-After"] = str(max(1, math.ceil(retry_after)))
+        return canonical_json(document).encode("utf-8"), headers
+
+    @staticmethod
+    def _response_bytes(status: int, body: bytes, headers: Dict[str, str]) -> bytes:
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        lines += [f"{name}: {value}" for name, value in headers.items()]
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+    async def handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection: read a request, answer it, close.
+
+        Every failure mode maps to a typed status — a handler can raise
+        :class:`ServeError` (its own status + Retry-After), a library
+        :class:`ReproError` that slipped past validation (400), or an
+        unexpected exception (500, type and message only).  Nothing
+        escapes as a traceback and nothing leaves the client hanging.
+        """
+        self.stats["requests"] += 1
+        try:
+            try:
+                method, target, body = await asyncio.wait_for(
+                    self._read_request(reader), timeout=self.policy.deadline_s
+                )
+            except (ConnectionError, asyncio.IncompleteReadError, asyncio.TimeoutError):
+                return
+            try:
+                status, payload, headers = await self._dispatch(method, target, body)
+            except ServeError as error:
+                self.stats["errors"] += 1
+                status = error.status
+                payload, headers = self._error_body(error, status)
+            except ReproError as error:
+                self.stats["errors"] += 1
+                status = 400
+                payload, headers = self._error_body(error, status)
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # last wall: never a traceback
+                self.stats["errors"] += 1
+                status = 500
+                payload, headers = self._error_body(error, status)
+            writer.write(self._response_bytes(status, payload, headers))
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start accepting; ``port=0`` picks a free port."""
+        self._server = await asyncio.start_server(self.handle_client, host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RunnerError("serve_forever() before start()")
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._discard_pool()
+
+
+def run_serve(
+    store: Union[str, Path],
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    *,
+    workers: Union[None, int, str] = "auto",
+    policy: Optional[ServePolicy] = None,
+) -> int:
+    """Run the service in the foreground (the CLI entry point)."""
+    app = ServeApp(store, workers=workers, policy=policy)
+
+    async def main() -> None:
+        await app.start(host, port)
+        print(
+            f"repro serve: listening on http://{host}:{app.port} "
+            f"(store {app.store_dir}, workers {app.n_workers or 'serial'})",
+            flush=True,
+        )
+        try:
+            await app.serve_forever()
+        finally:
+            await app.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0

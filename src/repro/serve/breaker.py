@@ -1,0 +1,106 @@
+"""Circuit breaker over the compute backend.
+
+A broken backend (pool dying on every submission, a poisoned
+environment) must not let requests pile up behind doomed computes and
+their retries.  The breaker counts *consecutive* backend failures;
+past the threshold it **opens** and the service answers 503 with a
+``Retry-After`` equal to the remaining cooldown — an immediate, honest
+refusal instead of a hang.  After the cooldown one probe request is
+let through (**half-open**): success closes the breaker, failure
+re-opens it for a full cooldown.
+
+The clock is injectable (and monotonic) so tests drive state
+transitions without sleeping; the default is :func:`time.monotonic`,
+which REP002 permits in execution-layer code.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..errors import RunnerError
+from .errors import BreakerOpenError
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with cooldown and half-open probe."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        threshold: int = 4,
+        cooldown_s: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise RunnerError("breaker threshold must be >= 1")
+        if cooldown_s < 0:
+            raise RunnerError("breaker cooldown must be non-negative")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._failures = 0
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """Current state, accounting for an elapsed cooldown."""
+        if self._state == self.OPEN and self._remaining() <= 0:
+            return self.HALF_OPEN
+        return self._state
+
+    def _remaining(self) -> float:
+        return self.cooldown_s - (self._clock() - self._opened_at)
+
+    def check(self) -> None:
+        """Gate one compute attempt; raises 503 while the breaker refuses.
+
+        Called by the leader before touching the backend.  In half-open
+        state exactly one caller becomes the probe; concurrent callers
+        are refused until the probe settles.
+        """
+        if self._state == self.OPEN:
+            remaining = self._remaining()
+            if remaining > 0:
+                raise BreakerOpenError(
+                    f"circuit breaker open after {self._failures} consecutive "
+                    f"backend failures; retry in {remaining:.1f}s",
+                    retry_after_s=remaining,
+                )
+            self._state = self.HALF_OPEN
+            self._probing = False
+        if self._state == self.HALF_OPEN:
+            if self._probing:
+                raise BreakerOpenError(
+                    "circuit breaker half-open with a probe in flight; "
+                    "retry shortly",
+                    retry_after_s=max(self.cooldown_s, 0.1),
+                )
+            self._probing = True
+
+    def record_success(self) -> None:
+        """A backend attempt succeeded: close and reset."""
+        self._failures = 0
+        self._state = self.CLOSED
+        self._probing = False
+
+    def record_failure(self) -> None:
+        """A backend attempt failed; may trip the breaker open."""
+        self._failures += 1
+        tripped = self._failures >= self.threshold
+        if self._state == self.HALF_OPEN or (self._state == self.CLOSED and tripped):
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+        elif self._state == self.OPEN and self._remaining() <= 0:
+            # The failure *was* the half-open probe (state property
+            # reported half-open); re-open for a fresh cooldown.
+            self._opened_at = self._clock()
+        self._probing = False

@@ -1,0 +1,62 @@
+"""Single-flight request coalescing: one computation per canonical key.
+
+When N identical requests arrive while none has a memo entry yet, the
+naive service computes the point N times.  Single-flight keys every
+in-flight computation by its canonical hash: the first arrival (the
+*leader*) starts the work, later arrivals await the same task.  The
+task is awaited through :func:`asyncio.shield`, so a waiter whose
+request deadline fires is cancelled *individually* — the shared
+computation keeps running, completes, and is memoized, which is what
+turns a client's timeout-and-retry into a warm hit instead of a second
+cold compute.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, Tuple
+
+__all__ = ["SingleFlight"]
+
+
+class SingleFlight:
+    """Coalesces concurrent identical work onto one asyncio task."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, "asyncio.Task[Any]"] = {}
+        #: Requests served by awaiting someone else's computation.
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    async def run(
+        self, key: str, supplier: Callable[[], Awaitable[Any]]
+    ) -> Tuple[Any, bool]:
+        """Await ``key``'s in-flight task, starting it if absent.
+
+        Returns ``(result, leader)`` where ``leader`` is True for the
+        caller that actually started the computation.  The supplier's
+        exception propagates to every waiter; the key is released as
+        soon as the task settles, so a later retry starts fresh.
+        """
+        task = self._inflight.get(key)
+        leader = task is None
+        if task is None:
+            task = asyncio.get_running_loop().create_task(supplier())
+            task.add_done_callback(self._make_release(key))
+            self._inflight[key] = task
+        else:
+            self.coalesced += 1
+        return await asyncio.shield(task), leader
+
+    def _make_release(self, key: str) -> Callable[["asyncio.Task[Any]"], None]:
+        def release(task: "asyncio.Task[Any]") -> None:
+            self._inflight.pop(key, None)
+            if not task.cancelled():
+                # Every waiter may have been cancelled by its own
+                # deadline; consume the exception so an abandoned
+                # leader task does not warn at garbage collection.
+                task.exception()
+
+        return release

@@ -236,3 +236,61 @@ class TestLint:
         serial = capsys.readouterr().out
         assert main(["lint", target, "--workers", "2"]) == 1
         assert capsys.readouterr().out == serial
+
+
+class TestSweepDefaultOut:
+    """Satellite: sweeping without --out gets a managed run directory."""
+
+    def test_default_directory_is_deterministic_and_managed(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        argv = ["sweep", "--workload", "espresso", "--scale", "0.02"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sweep directory: " in out
+        named = out.splitlines()[0].partition(": ")[2]
+        run_dir = tmp_path / named
+        assert run_dir.parent.name == "runs"
+        assert run_dir.name.startswith("sweep-espresso-")
+        # A managed run directory, not journal files scattered in cwd.
+        assert (run_dir / "RUN.json").exists()
+        assert (run_dir / "sweep.journal.jsonl").exists()
+        assert not list(tmp_path.glob("*.journal.jsonl"))
+        # Deterministic: the same sweep resumes the same directory.
+        assert main(argv + ["--resume"]) == 0
+        again = capsys.readouterr().out.splitlines()[0].partition(": ")[2]
+        assert again == named
+        assert len(list((tmp_path / "runs").iterdir())) == 1
+
+    def test_different_sweeps_get_different_directories(self):
+        from repro.core.config import SystemConfig
+        from repro.core.explorer import default_sweep_dir
+
+        template = SystemConfig(l1_bytes=1024)
+        a = default_sweep_dir("espresso", template, 0.02)
+        b = default_sweep_dir("gcc1", template, 0.02)
+        c = default_sweep_dir("espresso", template, 0.05)
+        assert len({a, b, c}) == 3
+
+
+class TestVerifyCommand:
+    """Satellite: verify on a missing/empty directory is a typed error."""
+
+    def test_missing_directory_exits_2(self, capsys, tmp_path):
+        assert main(["verify", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not a directory" in err
+
+    def test_empty_directory_exits_2(self, capsys, tmp_path):
+        assert main(["verify", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no integrity records" in err
+
+    def test_missing_directory_debug_raises_typed(self, tmp_path):
+        from repro.errors import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            main(["--debug", "verify", str(tmp_path / "nope")])

@@ -1,0 +1,505 @@
+"""The sweep service: normalization, memo integrity, fault walls."""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.evaluate import evaluate
+from repro.errors import ServeError
+from repro.runner import ResourceWatchdog, WatchdogPolicy, faults, write_text_atomic
+from repro.runner.integrity import write_sidecar
+from repro.serve import (
+    AdmissionController,
+    BackgroundServer,
+    BadRequestError,
+    BreakerOpenError,
+    CircuitBreaker,
+    MemoStore,
+    ServePolicy,
+    ShedError,
+    SingleFlight,
+    canonical_json,
+    normalize_point,
+    normalize_sweep,
+    point_key,
+    point_record,
+)
+
+CONFIG = SystemConfig(l1_bytes=2048, l2_bytes=16384)
+PAYLOAD = {"l1_kb": 2, "l2_kb": 16, "workload": "gcc1", "scale": 0.02}
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_faults(monkeypatch):
+    """Serve tests drive REPRO_FAULTS; never leak a plan across tests."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def reference_bytes(payload=PAYLOAD):
+    config = SystemConfig(
+        l1_bytes=payload["l1_kb"] * 1024, l2_bytes=payload["l2_kb"] * 1024
+    )
+    perf = evaluate(config, payload["workload"], scale=payload["scale"])
+    return canonical_json(point_record(perf)).encode("utf-8")
+
+
+class TestNormalization:
+    def test_flag_and_config_spellings_share_a_key(self):
+        from_flags = normalize_point(PAYLOAD)
+        from_config = normalize_point(
+            {
+                "config": CONFIG.to_dict(),
+                "workload": "gcc1",
+                "scale": 0.02,
+            }
+        )
+        assert point_key(*from_flags) == point_key(*from_config)
+
+    def test_key_ignores_field_order_and_numeric_spelling(self):
+        a = normalize_point({"l1_kb": 2, "l2_kb": 16, "scale": 0.02})
+        b = normalize_point({"scale": "0.02", "l2_kb": 16.0, "l1_kb": 2.0})
+        assert point_key(*a) == point_key(*b)
+
+    def test_different_configs_get_different_keys(self):
+        a = normalize_point({"l1_kb": 2, "l2_kb": 16})
+        b = normalize_point({"l1_kb": 2, "l2_kb": 32})
+        assert point_key(*a) != point_key(*b)
+
+    def test_unknown_workload_is_a_400(self):
+        with pytest.raises(BadRequestError, match="unknown workload"):
+            normalize_point({"l1_kb": 2, "workload": "doom"})
+
+    def test_invalid_geometry_is_a_400(self):
+        with pytest.raises(BadRequestError):
+            normalize_point({"l1_kb": 3})
+
+    def test_non_object_body_is_a_400(self):
+        with pytest.raises(BadRequestError, match="JSON object"):
+            normalize_point([1, 2, 3])
+
+    def test_bad_scale_is_a_400(self):
+        with pytest.raises(BadRequestError, match="scale"):
+            normalize_point({"l1_kb": 2, "scale": -1})
+
+    def test_sweep_follows_design_space_order(self):
+        configs, workload, scale = normalize_sweep(
+            {"workload": "gcc1", "l1_sizes_kb": [1, 2], "l2_sizes_kb": [0, 8]}
+        )
+        assert workload == "gcc1" and scale is None
+        labels = [c.label for c in configs]
+        assert labels == ["1:0", "1:8", "2:0", "2:8"]
+
+    def test_empty_sweep_is_a_400(self):
+        with pytest.raises(BadRequestError, match="zero design points"):
+            normalize_sweep({"l1_sizes_kb": [1], "l2_sizes_kb": [0],
+                             "include_single_level": False})
+
+
+class TestMemoStore:
+    RECORD = {"schema": 1, "kind": "evaluate", "label": "2:16", "tpi_ns": 4.2}
+
+    def test_roundtrip_and_counters(self, tmp_path):
+        store = MemoStore(tmp_path / "memo")
+        assert store.load("k1") is None
+        store.store("k1", self.RECORD)
+        assert store.load("k1") == self.RECORD
+        assert store.hits == 1 and store.misses == 1
+        assert len(store) == 1
+
+    def test_store_is_integrity_tracked(self, tmp_path):
+        store = MemoStore(tmp_path / "memo")
+        store.store("k1", self.RECORD)
+        assert (tmp_path / "memo" / "k1.json.sha256").exists()
+        assert (tmp_path / "memo" / "MANIFEST.json").exists()
+
+    def test_poisoned_entry_is_quarantined_never_served(self, tmp_path):
+        store = MemoStore(tmp_path / "memo")
+        store.store("k1", self.RECORD)
+        path = store.path("k1")
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        path.write_bytes(bytes(data))
+        assert store.load("k1") is None
+        assert store.quarantined == 1
+        quarantine = tmp_path / "memo" / "quarantine"
+        assert quarantine.is_dir() and list(quarantine.glob("k1.json*"))
+
+    def test_unvouched_entry_is_not_served(self, tmp_path):
+        store = MemoStore(tmp_path / "memo")
+        store.path("k1").write_text(json.dumps(self.RECORD))
+        assert store.load("k1") is None  # no sidecar: nobody vouches
+        assert store.quarantined == 0  # not corruption, just untracked
+
+    def test_rotten_sidecar_is_not_trusted(self, tmp_path):
+        store = MemoStore(tmp_path / "memo")
+        store.store("k1", self.RECORD)
+        sidecar = tmp_path / "memo" / "k1.json.sha256"
+        sidecar.write_text("not a digest line")
+        assert store.load("k1") is None
+
+    def test_hash_valid_garbage_is_dropped(self, tmp_path):
+        store = MemoStore(tmp_path / "memo")
+        path = store.path("k1")
+        write_text_atomic(path, "[1, 2, 3]\n", track=False)
+        write_sidecar(path)
+        assert store.load("k1") is None
+        assert not path.exists()
+
+    def test_poisonmemo_fault_fires_after_sidecar(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "poisonmemo=k1:1")
+        store = MemoStore(tmp_path / "memo")
+        store.store("k1", self.RECORD)
+        assert store.load("k1") is None  # detected, not served
+        assert store.quarantined == 1
+
+
+class TestSingleFlight:
+    def test_waiters_coalesce_onto_one_computation(self):
+        async def scenario():
+            flight = SingleFlight()
+            calls = []
+
+            async def compute():
+                calls.append(1)
+                await asyncio.sleep(0.05)
+                return "value"
+
+            results = await asyncio.gather(
+                *(flight.run("k", compute) for _ in range(5))
+            )
+            return calls, results
+
+        calls, results = asyncio.run(scenario())
+        assert len(calls) == 1
+        assert [value for value, _ in results] == ["value"] * 5
+        assert sum(1 for _, leader in results if leader) == 1
+
+    def test_failure_propagates_and_key_is_released(self):
+        async def scenario():
+            flight = SingleFlight()
+
+            async def boom():
+                raise ServeError("injected")
+
+            with pytest.raises(ServeError):
+                await flight.run("k", boom)
+
+            async def fine():
+                return 42
+
+            value, leader = await flight.run("k", fine)
+            return value, leader, len(flight)
+
+        value, leader, inflight = asyncio.run(scenario())
+        assert (value, leader, inflight) == (42, True, 0)
+
+    def test_cancelled_waiter_does_not_kill_the_leader(self):
+        async def scenario():
+            flight = SingleFlight()
+            finished = asyncio.Event()
+
+            async def compute():
+                await asyncio.sleep(0.1)
+                finished.set()
+                return "late"
+
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(flight.run("k", compute), timeout=0.01)
+            await asyncio.wait_for(finished.wait(), timeout=2.0)
+            return finished.is_set()
+
+        assert asyncio.run(scenario())
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(threshold=3, cooldown_s=5.0, clock=lambda: clock[0])
+        for _ in range(2):
+            breaker.record_failure()
+        breaker.check()  # still closed
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(BreakerOpenError) as excinfo:
+            breaker.check()
+        assert excinfo.value.retry_after_s == pytest.approx(5.0)
+
+    def test_success_resets_the_failure_count(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_success_closes(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(threshold=1, cooldown_s=5.0, clock=lambda: clock[0])
+        breaker.record_failure()
+        clock[0] = 6.0
+        assert breaker.state == "half-open"
+        breaker.check()  # the probe is admitted
+        with pytest.raises(BreakerOpenError):
+            breaker.check()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.check()
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(threshold=1, cooldown_s=5.0, clock=lambda: clock[0])
+        breaker.record_failure()
+        clock[0] = 6.0
+        breaker.check()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(BreakerOpenError):
+            breaker.check()
+
+
+class TestAdmission:
+    def test_sheds_past_the_waiting_cap(self):
+        async def scenario():
+            admission = AdmissionController(max_active=1, max_waiting=1)
+            release = asyncio.Event()
+
+            async def hold():
+                async with admission.slot():
+                    await release.wait()
+
+            async def wait_slot():
+                async with admission.slot():
+                    pass
+
+            holder = asyncio.create_task(hold())
+            await asyncio.sleep(0.01)
+            waiter = asyncio.create_task(wait_slot())
+            await asyncio.sleep(0.01)
+            with pytest.raises(ShedError) as excinfo:
+                async with admission.slot():
+                    pass
+            assert excinfo.value.retry_after_s is not None
+            release.set()
+            await asyncio.gather(holder, waiter)
+            return admission.shed, admission.active, admission.waiting
+
+        shed, active, waiting = asyncio.run(scenario())
+        assert (shed, active, waiting) == (1, 0, 0)
+
+
+class TestServeHTTP:
+    def test_three_tier_resolution_is_byte_identical(self, tmp_path):
+        with BackgroundServer(tmp_path / "store") as server:
+            s1, h1, b1 = server.request("POST", "/v1/evaluate", PAYLOAD)
+            s2, h2, b2 = server.request("POST", "/v1/evaluate", PAYLOAD)
+        assert (s1, s2) == (200, 200)
+        assert h1["x-repro-source"] == "cold"
+        assert h2["x-repro-source"] == "memo"
+        assert b1 == b2 == reference_bytes()
+
+    def test_memo_persists_across_restarts(self, tmp_path):
+        with BackgroundServer(tmp_path / "store") as server:
+            server.request("POST", "/v1/evaluate", PAYLOAD)
+        with BackgroundServer(tmp_path / "store") as server:
+            status, headers, body = server.request("POST", "/v1/evaluate", PAYLOAD)
+        assert status == 200
+        assert headers["x-repro-source"] == "memo"
+        assert body == reference_bytes()
+
+    def test_concurrent_identical_requests_coalesce(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "slowworker=*:0.4")
+        with BackgroundServer(tmp_path / "store") as server:
+            results = []
+
+            def fire():
+                results.append(server.request("POST", "/v1/evaluate", PAYLOAD))
+
+            threads = [threading.Thread(target=fire) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        sources = sorted(headers["x-repro-source"] for _, headers, _ in results)
+        assert sources == ["coalesced", "cold"]
+        bodies = {body for _, _, body in results}
+        assert bodies == {reference_bytes()}
+
+    def test_tpi_is_a_projection_of_the_same_memo_entry(self, tmp_path):
+        with BackgroundServer(tmp_path / "store") as server:
+            server.request("POST", "/v1/evaluate", PAYLOAD)
+            status, headers, body = server.request("POST", "/v1/tpi", PAYLOAD)
+        assert status == 200
+        assert headers["x-repro-source"] == "memo"
+        record = json.loads(body)
+        full = json.loads(reference_bytes())
+        assert record["kind"] == "tpi"
+        assert record["tpi_ns"] == full["tpi_ns"]
+        assert record["area_rbe"] == full["area_rbe"]
+
+    def test_sweep_and_envelope(self, tmp_path):
+        request = {
+            "workload": "gcc1",
+            "scale": 0.02,
+            "l1_sizes_kb": [1, 2],
+            "l2_sizes_kb": [0, 8],
+        }
+        with BackgroundServer(tmp_path / "store") as server:
+            s1, h1, b1 = server.request("POST", "/v1/sweep", request)
+            s2, _, b2 = server.request("POST", "/v1/envelope", request)
+        assert (s1, s2) == (200, 200)
+        swept = json.loads(b1)
+        assert [p["label"] for p in swept["points"]] == ["1:0", "1:8", "2:0", "2:8"]
+        envelope = json.loads(b2)
+        areas = [p["area_rbe"] for p in envelope["points"]]
+        tpis = [p["tpi_ns"] for p in envelope["points"]]
+        assert areas == sorted(areas)
+        assert tpis == sorted(tpis, reverse=True)
+        assert json.loads(h1["x-repro-sources"]) == {"cold": 4}
+
+    def test_error_model(self, tmp_path):
+        with BackgroundServer(tmp_path / "store") as server:
+            bad_json = server.request("POST", "/v1/evaluate", None)
+            bad_config = server.request("POST", "/v1/evaluate", {"l1_kb": 3})
+            missing = server.request("GET", "/nope")
+        assert bad_json[0] == 200 or bad_json[0] == 400  # empty body = defaults
+        assert bad_config[0] == 400
+        error = json.loads(bad_config[2])["error"]
+        assert error["type"] == "BadRequestError"
+        assert "traceback" not in bad_config[2].decode().lower()
+        assert missing[0] == 404
+
+    def test_deadline_is_a_504_with_retry_after(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "slowworker=*:1.0")
+        policy = ServePolicy(deadline_s=0.2, retries=0)
+        with BackgroundServer(tmp_path / "store", policy=policy) as server:
+            status, headers, body = server.request("POST", "/v1/evaluate", PAYLOAD)
+        assert status == 504
+        assert "retry-after" in headers
+        assert json.loads(body)["error"]["type"] == "DeadlineError"
+
+    def test_pool_death_degrades_but_still_answers(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "pooldeath=*:1")
+        with BackgroundServer(tmp_path / "store", workers=2) as server:
+            status, headers, body = server.request("POST", "/v1/evaluate", PAYLOAD)
+            health = json.loads(server.request("GET", "/healthz")[2])
+        assert status == 200
+        assert body == reference_bytes()
+        assert health["status"] == "degraded"
+        assert "pool died" in health["degraded_reason"]
+        assert health["pool_deaths"] >= 1
+
+    def test_poisoned_entry_recomputed_not_served(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "poisonmemo=*:1")
+        with BackgroundServer(tmp_path / "store") as server:
+            s1, h1, b1 = server.request("POST", "/v1/evaluate", PAYLOAD)
+            s2, h2, b2 = server.request("POST", "/v1/evaluate", PAYLOAD)
+            health = json.loads(server.request("GET", "/healthz")[2])
+        assert (s1, s2) == (200, 200)
+        assert b1 == b2 == reference_bytes()
+        assert h2["x-repro-source"] == "cold"  # the poisoned entry was not trusted
+        assert health["memo"]["quarantined"] == 1
+
+
+class TestWatchdogDegradation:
+    """Driving the pool past the RSS ceiling must degrade, not die."""
+
+    def test_rss_breach_propagates_to_health_and_journal(self, tmp_path):
+        watchdog = ResourceWatchdog(WatchdogPolicy(max_worker_rss_bytes=1))
+        with BackgroundServer(
+            tmp_path / "store", workers=2, watchdog=watchdog
+        ) as server:
+            status, _, body = server.request("POST", "/v1/evaluate", PAYLOAD)
+            health = json.loads(server.request("GET", "/healthz")[2])
+            # A later request is served serially, still byte-identical.
+            other = dict(PAYLOAD, l2_kb=32)
+            s2, _, b2 = server.request("POST", "/v1/evaluate", other)
+        assert status == 200 and body == reference_bytes()
+        assert s2 == 200 and b2 == reference_bytes(other)
+        assert health["status"] == "degraded"
+        assert "RSS" in health["degraded_reason"]
+        journal = (tmp_path / "store" / "serve.journal.jsonl").read_text()
+        entries = [json.loads(line) for line in journal.splitlines()[1:]]
+        degraded = [
+            e for e in entries if e.get("result", {}).get("degraded_reason")
+        ]
+        assert degraded, "journal must carry the degradation reason"
+        assert "RSS" in degraded[-1]["result"]["degraded_reason"]
+
+
+class TestServeLintClean:
+    """Satellite: the serve/runner backoff paths must be REP002-clean."""
+
+    def test_runner_and_serve_pass_determinism_lint(self):
+        from repro.analysis import lint_paths
+
+        report = lint_paths(["src/repro/runner", "src/repro/serve"], select=["REP002"])
+        assert report.clean, [str(f) for f in report.findings]
+
+    def test_global_rng_in_serve_code_is_flagged(self, tmp_path):
+        from repro.analysis import lint_paths
+
+        bad = tmp_path / "src" / "repro" / "serve" / "jitterbug.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import random\n\n\ndef backoff():\n    return random.random()\n"
+        )
+        report = lint_paths([str(bad)], select=["REP002"])
+        assert not report.clean
+        finding = report.findings[0]
+        assert finding.rule == "REP002"
+        assert "jitter_unit" in finding.message
+
+    def test_clocks_are_allowed_in_exec_code_banned_in_models(self, tmp_path):
+        from repro.analysis import lint_paths
+
+        exec_mod = tmp_path / "src" / "repro" / "serve" / "deadline.py"
+        exec_mod.parent.mkdir(parents=True)
+        exec_mod.write_text(
+            "import time\n\n\ndef now():\n    return time.monotonic()\n"
+        )
+        model_mod = tmp_path / "src" / "repro" / "cache" / "clocky.py"
+        model_mod.parent.mkdir(parents=True)
+        model_mod.write_text(
+            "import time\n\n\ndef now():\n    return time.monotonic()\n"
+        )
+        assert lint_paths([str(exec_mod)], select=["REP002"]).clean
+        assert not lint_paths([str(model_mod)], select=["REP002"]).clean
+
+
+class TestServeChaosSoak:
+    """The seeded serve soak holds its contract and reproduces."""
+
+    def test_soak_passes_and_serves_zero_wrong_answers(self, tmp_path):
+        from repro.study.serve_chaos import run_serve_chaos
+
+        result = run_serve_chaos(
+            tmp_path, seed=3, rounds=3, requests_per_round=4,
+            workers=2, scale=0.02,
+        )
+        assert result.passed, result.render()
+        assert result.availability_ok
+        assert result.requests > 0 and result.ok > 0
+        assert not result.wrong_answers
+        assert not result.missing_retry_after
+        assert not result.unexpected
+        record = result.to_record()
+        assert record["kind"] == "serve-chaos"
+        assert record["passed"] is True
+
+    def test_same_seed_draws_the_same_schedules(self, tmp_path):
+        from repro.study.serve_chaos import run_serve_chaos
+
+        a = run_serve_chaos(
+            tmp_path / "a", seed=7, rounds=2, requests_per_round=2,
+            workers=None, scale=0.02,
+        )
+        b = run_serve_chaos(
+            tmp_path / "b", seed=7, rounds=2, requests_per_round=2,
+            workers=None, scale=0.02,
+        )
+        assert a.schedules == b.schedules
