@@ -7,6 +7,22 @@ fanned out over a :class:`~repro.runner.pool.PoolRunner` when
 the engine obeys its own REP004 rule — and a checker crash in one file
 is isolated, collected, and re-raised as a single
 :class:`~repro.errors.LintError` naming every broken file.
+
+The optional **program phase** (``program=True``) adds whole-program
+rules (REP007–REP011) in two steps that keep the parallel shape: a
+serial graph build (per-file summaries, content-hash cached, linked
+into a :class:`~repro.analysis.program.graph.Program`) followed by
+per-rule evaluation units that fan out over the same pool.  Program
+findings go through the same suppression filter, driven by the
+suppression sites carried in the module summaries, and REP000 audits
+program-rule suppressions after the program phase (the per-file audit
+only judges file-scope rules, so a ``lint-ok[REP007]`` is never
+reported unused just because the program phase was off for that file's
+unit).
+
+The optional **cache** (``cache=<path>``) skips re-linting and
+re-summarizing files whose sha256 is unchanged; see
+:mod:`repro.analysis.cache` for the invalidation rules.
 """
 
 from __future__ import annotations
@@ -14,12 +30,25 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    AbstractSet,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
+from .. import __version__
 from ..errors import LintError
-from ..runner.engine import Runner, RunUnit
+from ..runner.engine import Runner, RunResult, RunUnit
 from ..runner.pool import PoolRunner, resolve_workers
+from .cache import LintCache, file_sha256, ruleset_key
 from .finding import FileContext, Finding
+from .program.graph import Program, link_program
+from .program.summary import ModuleSummary, summarize_source
 from .registry import Rule, get_rule, resolve_rules
 from .suppress import Suppression, scan_suppressions
 
@@ -36,6 +65,7 @@ class LintReport:
     findings: Tuple[Finding, ...]
     suppressed: Tuple[Finding, ...]
     n_files: int
+    n_cached: int = 0
 
     @property
     def clean(self) -> bool:
@@ -77,10 +107,14 @@ def lint_source(
     """Lint one source text; returns (active findings, suppressed).
 
     The in-memory entry point the per-file unit and the tests share.
+    Program-scope rules are engine-level and are filtered out here:
+    they cannot run on a single file, and the REP000 audit must not
+    judge their suppressions against a phase that did not run.
     """
     path = Path(path)
     if rules is None:
         rules = resolve_rules()
+    rules = tuple(rule for rule in rules if rule.scope == "file")
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as error:
@@ -141,7 +175,8 @@ def _audit_suppressions(
     active_ids: AbstractSet[str],
 ) -> List[Finding]:
     """REP000: reasons present, rule ids known, every suppression earns
-    its keep (only judged for rules active in this run)."""
+    its keep (only judged for file-scope rules active in this run;
+    program-rule suppressions are audited by the program phase)."""
     meta = get_rule("REP000")
     audit: List[Finding] = []
 
@@ -157,8 +192,15 @@ def _audit_suppressions(
             )
         )
 
+    seen: Set[Tuple[int, int]] = set()
     for entries in suppressions.values():
         for suppression in entries:
+            # A multiline-statement suppression is registered under
+            # every line it covers; audit each comment exactly once.
+            key = (suppression.line, suppression.col)
+            if key in seen:
+                continue
+            seen.add(key)
             if not suppression.rule_ids:
                 report(suppression, "suppression names no rule id")
                 continue
@@ -180,7 +222,11 @@ def _audit_suppressions(
                     "'# repro: lint-ok[RULE] why this is safe'",
                 )
                 continue
-            judged = [r for r in suppression.rule_ids if r in active_ids]
+            judged = [
+                r
+                for r in suppression.rule_ids
+                if r in active_ids and get_rule(r).scope == "file"
+            ]
             hit = used.get((suppression.line, suppression.col), [])
             unused = [r for r in judged if r not in hit]
             if judged and unused:
@@ -218,35 +264,30 @@ class _LintFileTask:
         return tuple(findings), tuple(suppressed)
 
 
-def lint_paths(
-    paths: Sequence[Union[str, Path]],
-    select: Optional[Sequence[str]] = None,
-    ignore: Optional[Sequence[str]] = None,
-    workers: Union[None, int, str] = None,
-) -> LintReport:
-    """Lint files or directory trees and aggregate one report.
+@dataclass(frozen=True)
+class _ProgramRuleTask:
+    """Pool-safe unit body: evaluate one program rule over the graph."""
 
-    ``select``/``ignore`` filter the rule set (validated up front);
-    ``workers`` follows the CLI convention of the other commands
-    (``None``/``0``/``"serial"`` serial, ``"auto"`` one per CPU).
-    """
-    resolve_rules(select, ignore)  # validate filters before any work
-    files = discover_files(paths)
-    select_t = tuple(select) if select is not None else None
-    ignore_t = tuple(ignore) if ignore is not None else None
-    units = [
-        RunUnit(
-            unit_id=Path(file).as_posix(),
-            payload={"path": Path(file).as_posix()},
-            run=_LintFileTask(str(file), select_t, ignore_t),
-        )
-        for file in files
-    ]
+    rule_id: str
+    program: Program
+
+    def __call__(self) -> Tuple[Tuple[str, int, int, str], ...]:
+        rule = get_rule(self.rule_id)
+        if rule.program_check is None:
+            raise LintError(f"{self.rule_id} is not a whole-program rule")
+        return tuple(rule.program_check(self.program))
+
+
+def _run_units(
+    units: List[RunUnit], workers: Union[None, int, str]
+) -> RunResult:
     worker_count = resolve_workers(workers)
     if worker_count is None or len(units) <= 1:
-        result = Runner(keep_going=True).run(units)
-    else:
-        result = PoolRunner(keep_going=True, workers=worker_count).run(units)
+        return Runner(keep_going=True).run(units)
+    return PoolRunner(keep_going=True, workers=worker_count).run(units)
+
+
+def _raise_broken(result: RunResult) -> None:
     broken = [
         f"{outcome.unit_id}: {(outcome.error or {}).get('message', 'unknown error')}"
         for outcome in result.failed
@@ -255,15 +296,234 @@ def lint_paths(
         raise LintError(
             "lint failed on {} file(s): {}".format(len(broken), "; ".join(broken))
         )
+
+
+def _build_summaries(
+    files: Sequence[Path],
+    posix_files: Sequence[str],
+    shas: Dict[str, str],
+    cache: Optional[LintCache],
+) -> List[ModuleSummary]:
+    """The serial, cached graph-build half of the program phase."""
+    summaries: List[ModuleSummary] = []
+    errors: List[str] = []
+    for file, posix in zip(files, posix_files):
+        summary: Optional[ModuleSummary] = None
+        if cache is not None:
+            summary = cache.lookup_summary(posix, shas[posix])
+        if summary is None:
+            try:
+                source = Path(file).read_text()
+            except OSError as error:
+                errors.append(f"{posix}: cannot read: {error}")
+                continue
+            try:
+                summary = summarize_source(source, posix)
+            except SyntaxError as error:
+                errors.append(f"{posix}: cannot parse: {error}")
+                continue
+            if cache is not None:
+                cache.store_summary(posix, shas[posix], summary)
+        summaries.append(summary)
+    if errors:
+        raise LintError(
+            "lint failed on {} file(s): {}".format(len(errors), "; ".join(errors))
+        )
+    return summaries
+
+
+def _program_phase(
+    program: Program,
+    program_rules: Sequence[Rule],
+    workers: Union[None, int, str],
+    audit_unused: bool,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Evaluate program rules, apply suppressions, audit their usage."""
+    units = [
+        RunUnit(
+            unit_id=rule.rule_id,
+            payload={"rule": rule.rule_id},
+            run=_ProgramRuleTask(rule.rule_id, program),
+        )
+        for rule in program_rules
+    ]
+    result = _run_units(units, workers)
+    broken = [
+        f"{outcome.unit_id}: {(outcome.error or {}).get('message', 'unknown error')}"
+        for outcome in result.failed
+    ]
+    if broken:
+        raise LintError(
+            "program analysis failed on {} rule(s): {}".format(
+                len(broken), "; ".join(broken)
+            )
+        )
+    rule_map = {rule.rule_id: rule for rule in program_rules}
+    raw: List[Finding] = []
+    for outcome in result.completed:
+        rule = rule_map[outcome.unit_id]
+        for path, line, col, message in outcome.value:
+            raw.append(
+                Finding(
+                    rule=rule.rule_id,
+                    severity=rule.severity,
+                    path=path,
+                    line=line,
+                    col=col,
+                    message=message,
+                )
+            )
+
     findings: List[Finding] = []
     suppressed: List[Finding] = []
-    for file_findings, file_suppressed in result.values():
-        findings.extend(file_findings)
-        suppressed.extend(file_suppressed)
+    used: Dict[Tuple[str, int, int], Set[str]] = {}
+    for finding in raw:
+        summary = program.by_path.get(finding.path)
+        matched = None
+        if summary is not None:
+            for site in summary.suppressions:
+                if site.covers(finding.rule, finding.line):
+                    matched = site
+                    break
+        if matched is not None:
+            suppressed.append(finding.suppress(matched.reason))
+            used.setdefault(
+                (finding.path, matched.line, matched.col), set()
+            ).add(finding.rule)
+        else:
+            findings.append(finding)
+
+    if audit_unused:
+        meta = get_rule("REP000")
+        program_ids = set(rule_map)
+        for summary in program.by_path.values():
+            for site in summary.suppressions:
+                if not site.rule_ids or not site.reason:
+                    continue  # the per-file audit reports these
+                if any(not _is_known_rule(r) for r in site.rule_ids):
+                    continue
+                judged = [r for r in site.rule_ids if r in program_ids]
+                hit = used.get((summary.path, site.line, site.col), set())
+                unused = [r for r in judged if r not in hit]
+                if judged and unused:
+                    findings.append(
+                        Finding(
+                            rule=meta.rule_id,
+                            severity=meta.severity,
+                            path=summary.path,
+                            line=site.line,
+                            col=site.col,
+                            message=(
+                                f"suppression for {', '.join(unused)} masks "
+                                "nothing on this line; remove it"
+                            ),
+                        )
+                    )
+    return findings, suppressed
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    workers: Union[None, int, str] = None,
+    *,
+    program: bool = False,
+    cache: Union[None, str, Path] = None,
+) -> LintReport:
+    """Lint files or directory trees and aggregate one report.
+
+    ``select``/``ignore`` filter the rule set (validated up front);
+    ``workers`` follows the CLI convention of the other commands
+    (``None``/``0``/``"serial"`` serial, ``"auto"`` one per CPU).
+    ``program=True`` enables the whole-program phase (REP007–REP011);
+    explicitly selecting a program rule without it is an error rather
+    than a silent no-op.  ``cache`` names a content-hash cache file
+    (see :mod:`repro.analysis.cache`); ``None`` disables caching.
+    """
+    rules = resolve_rules(select, ignore)  # validates filters up front
+    program_rules = tuple(rule for rule in rules if rule.scope == "program")
+    file_rules = tuple(rule for rule in rules if rule.scope == "file")
+    if not program and program_rules and select is not None:
+        names = ", ".join(rule.rule_id for rule in program_rules)
+        raise LintError(
+            f"{names} require(s) whole-program analysis; pass --program"
+        )
+    if not program:
+        program_rules = ()
+    files = discover_files(paths)
+    posix_files = [Path(file).as_posix() for file in files]
+
+    cache_obj: Optional[LintCache] = None
+    shas: Dict[str, str] = {}
+    if cache is not None or program_rules:
+        for file, posix in zip(files, posix_files):
+            try:
+                shas[posix] = file_sha256(Path(file).read_bytes())
+            except OSError as error:
+                raise LintError(f"cannot read {posix}: {error}") from error
+    if cache is not None:
+        key = ruleset_key(__version__, [rule.rule_id for rule in file_rules])
+        cache_obj = LintCache.load(Path(cache), key)
+
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    n_cached = 0
+
+    if file_rules:
+        select_t = tuple(select) if select is not None else None
+        ignore_t = tuple(ignore) if ignore is not None else None
+        pending: List[str] = []
+        for posix in posix_files:
+            if cache_obj is not None:
+                hit = cache_obj.lookup_findings(posix, shas[posix])
+                if hit is not None:
+                    findings.extend(hit[0])
+                    suppressed.extend(hit[1])
+                    n_cached += 1
+                    continue
+            pending.append(posix)
+        if pending:
+            units = [
+                RunUnit(
+                    unit_id=posix,
+                    payload={"path": posix},
+                    run=_LintFileTask(posix, select_t, ignore_t),
+                )
+                for posix in pending
+            ]
+            result = _run_units(units, workers)
+            _raise_broken(result)
+            for outcome in result.completed:
+                file_findings, file_suppressed = outcome.value
+                findings.extend(file_findings)
+                suppressed.extend(file_suppressed)
+                if cache_obj is not None:
+                    cache_obj.store_findings(
+                        outcome.unit_id,
+                        shas[outcome.unit_id],
+                        file_findings,
+                        file_suppressed,
+                    )
+
+    if program_rules:
+        summaries = _build_summaries(files, posix_files, shas, cache_obj)
+        linked = link_program(summaries)
+        audit_unused = any(rule.rule_id == "REP000" for rule in file_rules)
+        program_findings, program_suppressed = _program_phase(
+            linked, program_rules, workers, audit_unused
+        )
+        findings.extend(program_findings)
+        suppressed.extend(program_suppressed)
+
+    if cache_obj is not None:
+        cache_obj.save()
+
     findings.sort(key=Finding.sort_key)
     suppressed.sort(key=Finding.sort_key)
     return LintReport(
         findings=tuple(findings),
         suppressed=tuple(suppressed),
         n_files=len(files),
+        n_cached=n_cached,
     )

@@ -1,0 +1,18 @@
+"""Whole-program rules REP007–REP011.
+
+Imported by the registry for registration side effects, exactly like
+the per-file rules package.  Each module registers one rule via
+:func:`~repro.analysis.registry.program_checker`; the check functions
+consume a linked :class:`~repro.analysis.program.graph.Program` and
+yield ``(path, line, col, message)`` tuples.
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401
+    async_safety,
+    atomic_flow,
+    determinism_flow,
+    exception_flow,
+    picklable_flow,
+)

@@ -1,0 +1,93 @@
+"""REP011: atomic-write taint — persisting code must not reach raw writes.
+
+REP001 flags a direct ``open('w')``/``write_text`` in the file that
+contains it.  This rule adds the caller-side view: a function in a
+persisting package whose call chain ends in a raw write — through any
+number of helpers — bypasses the tmp-sibling + ``os.replace`` + fsync
+discipline of :mod:`repro.runner.atomic`, and the *caller* is where the
+artefact contract is owned.  Findings are reported at the frontier call
+site with the witness chain down to the sink.
+
+Sanctioned sinks generate no taint: :mod:`repro.runner.atomic` (the one
+module allowed to open files for writing) and
+:mod:`repro.runner.faults` (deliberate fault injection — its direct
+writes exist to corrupt artefacts).  A write site that carries a REP001
+suppression is a documented deviation and does not taint its callers
+either — the suppression inventory already explains it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ...registry import ProgramViolation, program_checker
+from ..graph import FunctionNode, Program, propagate_to_callers
+
+_SANCTIONED_MODULES = frozenset(
+    {"repro.runner.atomic", "repro.runner.faults"}
+)
+
+#: Mirrors REP006's notion of "persisting packages": the package minus
+#: the runner (owns the helpers) and the analyzer (writes no artefacts).
+_EXEMPT_PREFIXES = ("repro.runner", "repro.analysis")
+
+
+def _persisting(module: str) -> bool:
+    if not (module == "repro" or module.startswith("repro.")):
+        return False
+    return not any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in _EXEMPT_PREFIXES
+    )
+
+
+def _transmits(node: FunctionNode) -> bool:
+    return node.module not in _SANCTIONED_MODULES
+
+
+@program_checker(
+    "REP011",
+    "atomic-flow",
+    "A persisting package whose call chain bottoms out in a raw write "
+    "bypasses the atomic tmp/rename/fsync discipline even though the "
+    "write lives in another file; a crash mid-chain can still tear the "
+    "artefact --resume revalidates.",
+)
+def check_atomic_flow(program: Program) -> Iterator[ProgramViolation]:
+    seeds: Dict[str, str] = {}
+    for node in program.functions.values():
+        if node.module in _SANCTIONED_MODULES:
+            continue
+        raw_writes = [
+            s for s in node.sinks if s.kind == "write" and not s.suppressed
+        ]
+        if raw_writes:
+            first = min(raw_writes, key=lambda s: (s.line, s.col))
+            seeds[node.fid] = f"{first.detail} at {node.path}:{first.line}"
+    tainted = propagate_to_callers(
+        program, seeds, edge_kinds=("call",), through=_transmits
+    )
+
+    findings: List[Tuple[str, int, int, str]] = []
+    for node in sorted(program.functions.values(), key=lambda n: n.fid):
+        if not _persisting(node.module):
+            continue
+        for call in node.calls:
+            if call.kind != "call" or call.target is None:
+                continue
+            if call.target not in tainted:
+                continue
+            chain = " -> ".join(tainted[call.target])
+            findings.append(
+                (
+                    node.path,
+                    call.line,
+                    call.col,
+                    f"{call.raw}() transitively performs a raw file write "
+                    f"({chain}) without going through repro.runner.atomic; "
+                    "route the write through atomic_open / "
+                    "write_text_atomic / write_bytes_atomic",
+                )
+            )
+    for finding in sorted(set(findings)):
+        yield finding

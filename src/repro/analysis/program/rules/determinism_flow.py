@@ -1,0 +1,102 @@
+"""REP010: determinism taint — clocks/RNG reaching model code via helpers.
+
+REP002 bans wall-clock reads and unseeded RNG *inside* the model
+packages, file by file.  The leak it cannot see: a model function
+calling a helper in ``traces/``, ``study/`` or ``units.py`` that reads
+the clock — the model output is now nondeterministic but every
+individual file lints clean.  This rule propagates a "nondeterministic"
+fact from direct clock/RNG sinks up the call graph and reports at the
+call site inside a model module (the frontier, where the fix or a
+documented suppression belongs).
+
+Only interprocedural findings are reported — a direct sink inside a
+model file stays REP002's per-file finding.  Sinks that carry a REP002
+suppression are documented deviations and generate no taint.  The
+execution packages (``runner/``, ``serve/``) legitimately read clocks,
+so they neither seed nor transmit taint: a model function calling into
+the runner is not a determinism leak (the runner never feeds timing
+back into model results).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ...registry import ProgramViolation, program_checker
+from ..graph import FunctionNode, Program, propagate_to_callers
+
+#: Modules whose outputs must be byte-identical under parallelism.
+#: Mirrors REP002's model dirs plus ``core`` (the sweep/experiment
+#: layer whose records land in artefacts).
+_MODEL_PREFIXES = (
+    "repro.cache",
+    "repro.core",
+    "repro.timing",
+    "repro.area",
+    "repro.power",
+    "repro.ext",
+)
+
+#: Execution-layer packages: clocks are their business; excluded from
+#: seeding and propagation entirely.
+_EXEC_PREFIXES = ("repro.runner", "repro.serve")
+
+
+def _matches(module: str, prefixes: Tuple[str, ...]) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in prefixes
+    )
+
+
+def _in_scope(node: FunctionNode) -> bool:
+    in_package = node.module == "repro" or node.module.startswith("repro.")
+    return in_package and not _matches(node.module, _EXEC_PREFIXES)
+
+
+@program_checker(
+    "REP010",
+    "determinism-flow",
+    "A wall-clock or RNG read hidden behind a helper makes model output "
+    "nondeterministic while every file lints clean under REP002; the "
+    "byte-identical-under-parallelism guarantee breaks exactly the same "
+    "way as a direct read.",
+)
+def check_determinism_flow(program: Program) -> Iterator[ProgramViolation]:
+    seeds: Dict[str, str] = {}
+    for node in program.functions.values():
+        if not _in_scope(node):
+            continue
+        impure = [
+            s for s in node.sinks
+            if s.kind in ("clock", "rng") and not s.suppressed
+        ]
+        if impure:
+            first = min(impure, key=lambda s: (s.line, s.col))
+            seeds[node.fid] = f"{first.detail} at {node.path}:{first.line}"
+    tainted = propagate_to_callers(
+        program, seeds, edge_kinds=("call",), through=_in_scope
+    )
+
+    findings: List[Tuple[str, int, int, str]] = []
+    for node in sorted(program.functions.values(), key=lambda n: n.fid):
+        if not _matches(node.module, _MODEL_PREFIXES):
+            continue
+        for call in node.calls:
+            if call.kind != "call" or call.target is None:
+                continue
+            if call.target not in tainted or call.target == node.fid:
+                continue
+            chain = " -> ".join(tainted[call.target])
+            findings.append(
+                (
+                    node.path,
+                    call.line,
+                    call.col,
+                    f"{call.raw}() called from model code transitively "
+                    f"reads a clock/RNG ({chain}); model outputs must be "
+                    "pure functions of their inputs",
+                )
+            )
+    for finding in sorted(set(findings)):
+        yield finding

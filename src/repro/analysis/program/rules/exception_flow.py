@@ -1,0 +1,108 @@
+"""REP009: every raise reachable from a CLI entry point is typed.
+
+The CLI's contract is ``error: …`` + exit 2 for every library failure,
+which holds because :func:`repro.cli.main` catches exactly
+:class:`~repro.errors.ReproError`.  REP003 polices the obvious local
+spellings (``raise ValueError`` in package code), but a helper that
+wraps a stdlib call and raises ``OSError``/``json.JSONDecodeError``
+escapes as a traceback.  This rule walks the call graph from the CLI
+entry points (``main`` and the ``_cmd_*`` handlers, over call, ref and
+bridge edges — callbacks and pool-shipped bodies count) and checks that
+every resolvable ``raise`` in reachable package code is a ReproError
+subclass or an allowed programming-error builtin.
+
+Allowed: ReproError subclasses; builtins that signal *programming*
+errors or control flow (TypeError, KeyError, …, SystemExit,
+KeyboardInterrupt); classes deriving from BaseException but not
+Exception (crash-injection vehicles like InjectedCrash must bypass the
+handler by design).  Unresolvable raises (bare re-raise, raising a
+variable) are skipped.  Raises REP003 already bans are left to REP003.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ...registry import ProgramViolation, program_checker
+from ...rules.error_policy import _BANNED_RAISES
+from ..graph import Program, reachable_from
+
+_CLI_MODULE = "repro.cli"
+
+_ALLOWED_BUILTINS = frozenset(
+    {
+        "TypeError",
+        "AttributeError",
+        "KeyError",
+        "IndexError",
+        "LookupError",
+        "NotImplementedError",
+        "AssertionError",
+        "StopIteration",
+        "StopAsyncIteration",
+        "GeneratorExit",
+        "KeyboardInterrupt",
+        "SystemExit",
+    }
+)
+
+
+def _entry_points(program: Program) -> List[str]:
+    return [
+        node.fid
+        for node in program.functions.values()
+        if node.module == _CLI_MODULE
+        and (node.name == "main" or node.name.startswith("_cmd_"))
+    ]
+
+
+@program_checker(
+    "REP009",
+    "exception-flow",
+    "A raise of an untyped/stdlib exception reachable from a CLI entry "
+    "point escapes main()'s ReproError handler and surfaces as a "
+    "traceback, breaking the 'error: ... exit 2' contract REP003 "
+    "enforces for the direct spellings.",
+)
+def check_exception_flow(program: Program) -> Iterator[ProgramViolation]:
+    reachable = reachable_from(program, _entry_points(program))
+    findings: List[Tuple[str, int, int, str]] = []
+    for fid in sorted(reachable):
+        node = program.functions[fid]
+        if not (
+            node.module == "repro" or node.module.startswith("repro.")
+        ):
+            continue
+        for raised in node.raises:
+            if raised.name in _BANNED_RAISES:
+                continue  # REP003's per-file finding; not duplicated
+            if raised.target_kind == "class" and raised.target is not None:
+                if program.is_repro_error(raised.target):
+                    continue
+                roots = program.external_exception_roots(raised.target)
+                bases = {root.split(".")[-1] for root in roots}
+                if bases and "Exception" not in bases and bases <= {
+                    "BaseException"
+                }:
+                    continue  # crash-injection vehicle; bypasses by design
+                label = "locally-defined class"
+            elif raised.target_kind == "external":
+                last = (raised.target or raised.name).split(".")[-1]
+                if last in _ALLOWED_BUILTINS:
+                    continue
+                label = "external exception"
+            else:
+                continue  # unresolvable — skipped, never guessed
+            chain = " -> ".join(reachable[fid])
+            findings.append(
+                (
+                    node.path,
+                    raised.line,
+                    raised.col,
+                    f"raise {raised.name} ({label}) is reachable from the "
+                    f"CLI ({chain}) but is not a ReproError subclass; it "
+                    "escapes main()'s handler as a traceback",
+                )
+            )
+    for finding in sorted(set(findings)):
+        yield finding

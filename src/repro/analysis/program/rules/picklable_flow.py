@@ -1,0 +1,129 @@
+"""REP008: transitive picklability of pool-bound unit bodies.
+
+REP004 catches a lambda or nested def written *directly* into a
+``RunUnit(run=..., to_record=...)`` slot.  It cannot catch the wrapper
+trick: ``run=make_body(x)`` where ``make_body`` returns a closure, or
+``run=body`` where ``body`` is a module-level lambda (pickle serializes
+functions by qualified name — a lambda's ``<lambda>`` qualname never
+round-trips).  Both crash the first time ``--workers`` is passed.
+
+This rule walks return-flow taint through the call graph: a function
+that returns a lambda/nested def — or the value of a call to such a
+function — "may return an unpicklable", and handing its return value to
+a shipped slot is flagged with the witness chain.  Names are resolved
+through module symbols and re-exports; unresolved callees are skipped
+when reporting (conservative, no false positives) but remain explicit
+unknowns in the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ...registry import ProgramViolation, program_checker
+from ..graph import Program
+
+_SHIPPED_HINT = (
+    "pool workers rebuild unit bodies by pickling; use a module-level "
+    "function or a dataclass instance (see repro.runner.pool)"
+)
+
+
+def _may_return_unpicklable(program: Program) -> Dict[str, Tuple[str, ...]]:
+    """Fixpoint over return-flow edges: fid -> witness chain."""
+    tainted: Dict[str, Tuple[str, ...]] = {}
+    for fid in sorted(program.functions):
+        node = program.functions[fid]
+        for flow in node.returns:
+            if flow.kind in ("lambda", "nested"):
+                what = (
+                    "a lambda"
+                    if flow.kind == "lambda"
+                    else f"nested function {flow.target!r}"
+                )
+                tainted[fid] = (f"{node.display} returns {what}",)
+                break
+    changed = True
+    while changed:
+        changed = False
+        for fid in sorted(program.functions):
+            if fid in tainted:
+                continue
+            node = program.functions[fid]
+            for flow in node.returns:
+                if (
+                    flow.kind == "call"
+                    and flow.target is not None
+                    and flow.target in tainted
+                ):
+                    tainted[fid] = (
+                        f"{node.display} returns "
+                        f"{program.functions[flow.target].display}(...)",
+                    ) + tainted[flow.target]
+                    changed = True
+                    break
+    return tainted
+
+
+@program_checker(
+    "REP008",
+    "pickle-flow",
+    "A RunUnit body built by a wrapper that returns a lambda/closure, or "
+    "bound to a module-level lambda, pickles under the serial engine and "
+    "crashes every --workers run — the same landmine REP004 catches for "
+    "the direct spelling.",
+)
+def check_pickle_flow(program: Program) -> Iterator[ProgramViolation]:
+    tainted = _may_return_unpicklable(program)
+    findings: List[Tuple[str, int, int, str]] = []
+    for module in sorted(program.modules):
+        summary = program.modules[module]
+        for site in summary.unit_sites:
+            if site.kind == "direct" or site.name is None:
+                continue
+            if site.kind == "local-lambda":
+                findings.append(
+                    (
+                        summary.path,
+                        site.line,
+                        site.col,
+                        f"RunUnit {site.slot}= is {site.name!r}, a local "
+                        f"lambda; {_SHIPPED_HINT}",
+                    )
+                )
+                continue
+            resolution = program.resolve_in_module(module, site.name)
+            kind, target = resolution
+            if site.kind in ("name", "partial") and kind == "module-lambda":
+                how = (
+                    "functools.partial of" if site.kind == "partial" else
+                    "bound to"
+                )
+                findings.append(
+                    (
+                        summary.path,
+                        site.line,
+                        site.col,
+                        f"RunUnit {site.slot}= is {how} module-level lambda "
+                        f"{site.name!r}, whose <lambda> qualname cannot be "
+                        f"pickled; {_SHIPPED_HINT}",
+                    )
+                )
+            elif (
+                site.kind == "call"
+                and kind == "function"
+                and target in tainted
+            ):
+                chain = "; ".join(tainted[target])
+                findings.append(
+                    (
+                        summary.path,
+                        site.line,
+                        site.col,
+                        f"RunUnit {site.slot}= takes the return value of "
+                        f"{site.name}(), which may be unpicklable "
+                        f"({chain}); {_SHIPPED_HINT}",
+                    )
+                )
+    for finding in sorted(set(findings)):
+        yield finding

@@ -2,7 +2,11 @@
 
 A suppression masks findings of the named rule(s) on its own line, or —
 when written as a comment-only line — on the line directly below it,
-which keeps long flagged statements readable.  The reason is
+which keeps long flagged statements readable.  A trailing comment on
+any physical line of a multiline statement covers the whole statement
+up to that line, so the idiomatic ``)  # repro: lint-ok[...]`` on the
+closing paren masks a finding reported at the statement's first line
+(and vice versa).  The reason is
 mandatory; a reason-less suppression does not suppress and is itself
 reported under REP000, as is a suppression naming an unknown rule or
 one that masks nothing.  This keeps the exemption inventory honest:
@@ -16,7 +20,7 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["Suppression", "scan_suppressions"]
 
@@ -30,8 +34,12 @@ class Suppression:
     """One parsed suppression comment.
 
     ``line``/``col`` locate the comment itself (for reporting);
-    ``applies_to`` is the line whose findings it masks — the same line
-    for a trailing comment, the next line for a comment-only line.
+    ``applies_to`` is the primary line it masks — the comment's own
+    line for a trailing comment, the next line for a comment-only
+    line.  When the comment trails a multiline statement the
+    suppression is additionally registered (in the scan result) under
+    every physical line of that statement up to the comment, so a
+    finding reported anywhere in the statement is covered.
     """
 
     line: int
@@ -57,7 +65,25 @@ def scan_suppressions(source: str) -> Dict[int, List[Suppression]]:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError, SyntaxError):
         return found  # the file already failed/will fail to parse
+    # Lines of the logical statement currently being tokenized: the
+    # first "real" token after a NEWLINE opens a statement; NEWLINE
+    # (not NL, which is a continuation) closes it.  This lets a
+    # trailing comment on any physical line of a multiline statement
+    # cover the statement back to its first line.
+    stmt_start: Optional[int] = None
+    _inert = (
+        tokenize.NEWLINE,
+        tokenize.NL,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.COMMENT,
+        tokenize.ENDMARKER,
+    )
     for token in tokens:
+        if token.type == tokenize.NEWLINE:
+            stmt_start = None
+        elif token.type not in _inert and stmt_start is None:
+            stmt_start = token.start[0]
         if token.type != tokenize.COMMENT:
             continue
         match = _PATTERN.search(token.string)
@@ -70,6 +96,16 @@ def scan_suppressions(source: str) -> Dict[int, List[Suppression]]:
             for part in match.group("rules").split(",")
             if part.strip()
         )
+        if standalone:
+            # A comment-only line masks the next line; inside an open
+            # multiline statement it also masks the statement's start,
+            # where most checkers report their finding.
+            covered = {lineno + 1}
+            if stmt_start is not None:
+                covered.add(stmt_start)
+        else:
+            first = stmt_start if stmt_start is not None else lineno
+            covered = set(range(first, lineno + 1))
         suppression = Suppression(
             line=lineno,
             col=col + match.start() + 1,
@@ -77,5 +113,6 @@ def scan_suppressions(source: str) -> Dict[int, List[Suppression]]:
             rule_ids=rule_ids,
             reason=match.group("reason").strip(),
         )
-        found.setdefault(suppression.applies_to, []).append(suppression)
+        for masked_line in sorted(covered):
+            found.setdefault(masked_line, []).append(suppression)
     return found

@@ -28,11 +28,14 @@ Commands
     Answer evaluate/TPI/sweep/envelope queries over HTTP with
     content-addressed memoization, request coalescing, admission
     control, and a circuit breaker; see ``docs/api.md``.
-``lint [paths] [--format json] [--select ...] [--ignore ...]``
+``lint [paths] [--format json] [--select ...] [--program] [--no-cache]``
     Run the repro static-analysis checkers (atomic writes,
     determinism, error policy, pool picklability, geometry literals,
     manifest tracking) over source trees; exit 0 clean, 1 findings,
-    2 internal error.  ``--list-rules`` prints the rule catalogue.
+    2 internal error.  ``--program`` adds the whole-program phase
+    (call graph, taint, REP007-REP011); results are cached by content
+    hash in ``.repro-lint-cache.json`` unless ``--no-cache``.
+    ``--list-rules`` prints the rule catalogue.
 ``verify DIR [--repair]``
     Re-hash every tracked artefact under ``DIR`` against its sha256
     sidecar and ``MANIFEST.json``; exit 0 clean, 1 findings.
@@ -65,6 +68,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from .analysis import all_rules, lint_paths, render_human, render_json
+from .analysis.cache import DEFAULT_CACHE_NAME
 from .cache.hierarchy import Policy
 from .core.config import SystemConfig
 from .core.envelope import best_envelope
@@ -345,6 +349,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         select=args.select.split(",") if args.select else None,
         ignore=args.ignore.split(",") if args.ignore else None,
         workers=args.workers,
+        program=args.program,
+        cache=None if args.no_cache else args.cache_file,
     )
     if args.format == "json":
         print(render_json(report))
@@ -588,6 +594,23 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="lint files in N worker processes ('auto' = one per CPU)",
+    )
+    lint.add_argument(
+        "--program",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="enable the whole-program phase (call graph + REP007-REP011)",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the content-hash lint cache",
+    )
+    lint.add_argument(
+        "--cache-file",
+        default=DEFAULT_CACHE_NAME,
+        metavar="PATH",
+        help=f"lint cache location (default: {DEFAULT_CACHE_NAME})",
     )
     lint.set_defaults(func=_cmd_lint)
 

@@ -35,10 +35,11 @@ serial evaluation.  The serving tier is reported out-of-band in the
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import math
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
@@ -160,6 +161,13 @@ class ServeApp:
             jitter=0.5,
         )
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Single-threaded on purpose: memo and journal writes share
+        # fixed .tmp siblings (MANIFEST.json.tmp), so store-side I/O
+        # must stay serialized — as it implicitly was when these calls
+        # blocked the event loop — while no longer stalling the loop.
+        self._io_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-io"
+        )
         self._server: Optional[asyncio.base_events.Server] = None
         self.port: Optional[int] = None
         self.pool_deaths = 0
@@ -216,6 +224,32 @@ class ServeApp:
             return await loop.run_in_executor(None, compute_point, request)
         return await loop.run_in_executor(backend, compute_point, request)
 
+    # Memo and journal are synchronous disk I/O (REP007: they bottom
+    # out in file reads/writes and fsync).  Every call from the async
+    # request path goes through these executor bridges so a slow disk
+    # stalls one request, not the whole event loop.
+
+    async def _memo_load(self, key: str) -> Optional[dict]:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._io_executor, self.memo.load, key
+        )
+
+    async def _memo_store(self, key: str, record: dict) -> None:
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            self._io_executor, self.memo.store, key, record
+        )
+
+    async def _journal_record(
+        self, unit: str, key: str, status: str, **fields: Any
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            self._io_executor,
+            functools.partial(self.journal.record, unit, key, status, **fields),
+        )
+
     async def _compute_cold(self, key: str, request: dict) -> dict:
         """One admitted cold computation: retries, pool healing, journal."""
         started = time.monotonic()
@@ -249,9 +283,9 @@ class ServeApp:
                         f"watchdog ceiling; degraded to serial execution"
                     )
                 record = reply["record"]
-                self.memo.store(key, record)
+                await self._memo_store(key, record)
                 self.stats["cold"] += 1
-                self.journal.record(
+                await self._journal_record(
                     key,
                     key,
                     "ok",
@@ -270,7 +304,7 @@ class ServeApp:
                 # LFSR and the canonical key, never the global RNG.
                 await asyncio.sleep(self.retry.delay(attempts, key))
                 continue
-            self.journal.record(
+            await self._journal_record(
                 key,
                 key,
                 "failed",
@@ -292,7 +326,7 @@ class ServeApp:
     async def _resolve_point(self, config: Any, workload: str, scale: Any) -> Tuple[str, dict, str]:
         """Three-tier resolution of one point (caller already admitted)."""
         key = point_key(config, workload, scale)
-        record = self.memo.load(key)
+        record = await self._memo_load(key)
         if record is not None:
             self.stats["memo"] += 1
             return key, record, "memo"
@@ -328,7 +362,7 @@ class ServeApp:
 
         async def resolve() -> Tuple[str, dict, str]:
             key = point_key(config, workload, scale)
-            record = self.memo.load(key)
+            record = await self._memo_load(key)
             if record is not None:
                 self.stats["memo"] += 1
                 return key, record, "memo"
@@ -591,6 +625,7 @@ class ServeApp:
             await self._server.wait_closed()
             self._server = None
         self._discard_pool()
+        self._io_executor.shutdown(wait=True)
 
 
 def run_serve(

@@ -1,0 +1,9 @@
+"""REP007 true positive: a handler blocking two calls below the surface."""
+
+from . import helpers
+
+
+async def handle(request):
+    # Looks innocent: helpers.relay is sync and lints clean per-file,
+    # but it bottoms out in time.sleep two hops down.
+    return helpers.relay(request)

@@ -1,0 +1,14 @@
+"""Helpers for the clean tree: one blocking (always bridged), one async."""
+
+import asyncio
+import time
+
+
+def settle(request):
+    time.sleep(0.01)
+    return request
+
+
+async def async_settle(request):
+    await asyncio.sleep(0)
+    return request

@@ -1,0 +1,9 @@
+"""REP007 suppressed: the blocking chain is documented at the frontier."""
+
+from . import helpers
+
+
+async def warmup(request):
+    # Runs once before the server accepts connections; blocking here is
+    # deliberate and cheaper than threading the bridge through startup.
+    return helpers.relay(request)  # repro: lint-ok[REP007] startup path; loop not serving yet

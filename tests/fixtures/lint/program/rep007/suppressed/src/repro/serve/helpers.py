@@ -1,0 +1,12 @@
+"""Blocking helper chain shared by the suppressed tree."""
+
+import time
+
+
+def relay(request):
+    return settle(request)
+
+
+def settle(request):
+    time.sleep(0.01)
+    return request

@@ -1,0 +1,7 @@
+"""Unit-body factories that leak unpicklable callables."""
+
+MODULE_LAMBDA = lambda *args: 1  # noqa: E731
+
+
+def make_body():
+    return lambda: 2

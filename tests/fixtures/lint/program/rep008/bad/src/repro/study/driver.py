@@ -1,0 +1,22 @@
+"""REP008 true positives: lambdas smuggled into RunUnit via indirection.
+
+REP004 catches ``run=lambda: ...`` in the literal; these three shapes
+hide the lambda behind a name, a wrapper call, and a partial — each
+file lints clean under REP004 alone.
+"""
+
+import functools
+
+from repro.runner.engine import RunUnit
+
+from . import bodies
+
+BY_NAME = RunUnit(unit_id="u1", payload={}, run=bodies.MODULE_LAMBDA)
+
+BY_WRAPPER = RunUnit(unit_id="u2", payload={}, run=bodies.make_body())
+
+BY_PARTIAL = RunUnit(
+    unit_id="u3",
+    payload={},
+    run=functools.partial(bodies.MODULE_LAMBDA, 1),
+)

@@ -1,0 +1,10 @@
+"""Unit bodies that stay picklable through every routing shape."""
+
+
+def compute(*args):
+    return sum(range(4))
+
+
+def make_body():
+    # Returns a module-level function, not a lambda: picklable.
+    return compute

@@ -1,0 +1,17 @@
+"""REP008 avoided false positives: module-level callables, however routed."""
+
+import functools
+
+from repro.runner.engine import RunUnit
+
+from . import bodies
+
+DIRECT = RunUnit(unit_id="u1", payload={}, run=bodies.compute)
+
+VIA_WRAPPER = RunUnit(unit_id="u2", payload={}, run=bodies.make_body())
+
+VIA_PARTIAL = RunUnit(
+    unit_id="u3",
+    payload={},
+    run=functools.partial(bodies.compute, 1),
+)

@@ -1,0 +1,5 @@
+"""Unit-body factory shared by the suppressed tree."""
+
+
+def make_body():
+    return lambda: 2

@@ -1,0 +1,11 @@
+"""REP008 suppressed: serial-only unit, documented at the site."""
+
+from repro.runner.engine import RunUnit
+
+from . import bodies
+
+SERIAL_ONLY = RunUnit(
+    unit_id="u1",
+    payload={},
+    run=bodies.make_body(),
+)  # repro: lint-ok[REP008] serial-only demo unit; never reaches PoolRunner

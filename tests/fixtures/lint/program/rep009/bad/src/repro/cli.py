@@ -1,0 +1,11 @@
+"""REP009 true positive: a CLI path that leaks a stdlib exception."""
+
+from . import loader
+
+
+def main(argv=None):
+    return _cmd_show(argv)
+
+
+def _cmd_show(argv):
+    return loader.load_config("conf.json")

@@ -1,0 +1,11 @@
+"""REP009 clean tree: every reachable raise is typed or allowed."""
+
+from . import loader
+
+
+def main(argv=None):
+    return _cmd_show(argv)
+
+
+def _cmd_show(argv):
+    return loader.load_config("conf.json")

@@ -1,0 +1,15 @@
+"""Fixture error hierarchy mirroring repro.errors."""
+
+
+class ReproError(Exception):
+    pass
+
+
+class ConfigError(ReproError):
+    pass
+
+
+class Halt(BaseException):
+    # Crash-injection vehicle: derives from BaseException on purpose so
+    # it bypasses main()'s ReproError handler.
+    pass

@@ -1,0 +1,25 @@
+"""Typed raises, allowed builtins, and an unreachable helper."""
+
+from .errors import ConfigError, Halt
+
+
+def load_config(path):
+    text = read_text(path)
+    if not text:
+        raise ConfigError(f"empty config: {path}")
+    if text == "halt":
+        raise Halt()
+    if path is None:
+        raise TypeError("path must be a string")
+    return text
+
+
+def read_text(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def never_called(path):
+    # Not reachable from any CLI entry point: out of REP009's scope
+    # even though the raise is untyped.
+    raise OSError(f"unreachable: {path}")

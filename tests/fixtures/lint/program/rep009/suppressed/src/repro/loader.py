@@ -1,0 +1,14 @@
+"""The stdlib raise is deliberate and documented at the raise site."""
+
+
+def load_config(path):
+    text = read_text(path)
+    if not text:
+        # repro: lint-ok[REP009] emulates a real ENOENT for the caller's retry logic
+        raise OSError(f"empty config: {path}")
+    return text
+
+
+def read_text(path):
+    with open(path) as handle:
+        return handle.read()

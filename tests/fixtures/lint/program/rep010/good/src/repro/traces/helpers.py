@@ -1,0 +1,5 @@
+"""Pure helper: a function of its inputs only."""
+
+
+def scale(config):
+    return config * 2

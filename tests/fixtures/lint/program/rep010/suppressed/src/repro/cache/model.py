@@ -1,0 +1,7 @@
+"""REP010 suppressed: documented nondeterminism at the frontier."""
+
+from repro.traces import helpers
+
+
+def miss_rate(config):
+    return 0.01 + helpers.jitter(config)  # repro: lint-ok[REP010] demo-only wobble, not persisted

@@ -1,0 +1,7 @@
+"""Clock-reading helper shared by the suppressed tree."""
+
+import time
+
+
+def jitter(config):
+    return time.time() * 1e-9

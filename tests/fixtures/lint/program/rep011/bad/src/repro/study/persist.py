@@ -1,0 +1,9 @@
+"""REP011 true positive: persisting code reaching a raw write via a helper."""
+
+from . import io_helpers
+
+
+def save_report(path, text):
+    # A crash between the helper's write and return tears the artefact;
+    # nothing revalidates it on --resume.
+    io_helpers.dump_raw(path, text)

@@ -1,0 +1,10 @@
+"""Sanctioned writer stub: the one module allowed to open for writing."""
+
+import os
+
+
+def write_text_atomic(path, text):
+    tmp = str(path) + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(text)
+    os.replace(tmp, path)

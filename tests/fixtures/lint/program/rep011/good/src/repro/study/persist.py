@@ -1,0 +1,7 @@
+"""REP011 avoided false positive: the write is routed through atomic."""
+
+from repro.runner.atomic import write_text_atomic
+
+
+def save_report(path, text):
+    write_text_atomic(path, text)

@@ -1,0 +1,6 @@
+"""Raw-write helper shared by the suppressed tree."""
+
+
+def dump_raw(path, text):
+    with open(path, "w") as handle:
+        handle.write(text)

@@ -1,0 +1,11 @@
+"""REP000 regression: suppressing a finding on a multiline statement.
+
+The REP001 finding lands on the line of ``open(`` while the trailing
+suppression comment sits three lines later on the closing paren; the
+scanner must treat the whole logical line as covered.
+"""
+
+HANDLE = open(
+    "artefact.json",
+    "w",
+)  # repro: lint-ok[REP001] regression fixture: comment on the closing-paren line

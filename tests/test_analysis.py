@@ -5,6 +5,8 @@ from pathlib import Path
 
 import pytest
 
+import repro
+
 from repro.analysis import (
     all_rules,
     lint_paths,
@@ -47,8 +49,20 @@ class TestRegistry:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
+            "REP008",
+            "REP009",
+            "REP010",
+            "REP011",
         ):
             assert expected in ids
+
+    def test_program_rules_are_program_scoped(self):
+        by_id = {rule.rule_id: rule for rule in all_rules()}
+        for rule_id in ("REP007", "REP008", "REP009", "REP010", "REP011"):
+            assert by_id[rule_id].scope == "program"
+        for rule_id in ("REP000", "REP001", "REP005"):
+            assert by_id[rule_id].scope == "file"
 
     def test_every_rule_has_rationale(self):
         for rule in all_rules():
@@ -141,6 +155,29 @@ class TestSuppressionAudit:
         )
         assert not findings
 
+    def test_multiline_statement_trailing_suppression(self):
+        # Regression: the comment sits on the closing-paren line but the
+        # finding is reported at the call's first line; the suppression
+        # covers the whole logical statement.
+        findings, suppressed = lint_source(
+            "open(\n"
+            '    "artefact.json",\n'
+            '    "w",\n'
+            ")  # repro: lint-ok[REP001] trailing comment on a multiline call\n",
+            "src/repro/study/example.py",
+        )
+        assert not findings
+        assert [f.rule for f in suppressed] == ["REP001"]
+        assert suppressed[0].line == 1
+
+    def test_multiline_suppression_fixture(self):
+        report = lint_paths(
+            [RULE_FIXTURES["REP001"] / "rep000_multiline.py"],
+            select=["REP000", "REP001"],
+        )
+        assert report.clean
+        assert [f.rule for f in report.suppressed] == ["REP001"]
+
     def test_standalone_comment_masks_next_line(self):
         findings, suppressed = lint_source(
             "# repro: lint-ok[REP001] explained standalone form\n"
@@ -191,9 +228,11 @@ class TestReporters:
     def test_json_schema(self):
         report = lint_paths([RULE_FIXTURES["REP001"]], select=["REP001", "REP000"])
         payload = json.loads(render_json(report))
-        assert payload["schema"] == 1
+        assert payload["schema_version"] == 2
+        assert payload["version"] == repro.__version__
+        assert payload["cached"] == 0
         assert payload["clean"] is False
-        assert payload["files"] == 3
+        assert payload["files"] == 4
         assert isinstance(payload["findings"], list)
         for row in payload["findings"]:
             assert set(row) == {"rule", "severity", "path", "line", "col", "message"}

@@ -207,7 +207,8 @@ class TestLint:
         path = self._package_file(tmp_path, "dirty.py", self.BAD)
         assert main(["lint", str(path), "--format", "json"]) == 1
         payload = json_module.loads(capsys.readouterr().out)
-        assert payload["schema"] == 1
+        assert payload["schema_version"] == 2
+        assert payload["version"]
         assert payload["clean"] is False
         assert payload["findings"][0]["rule"] == "REP001"
 
@@ -225,7 +226,10 @@ class TestLint:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("REP000", "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+        for rule_id in (
+            "REP000", "REP001", "REP002", "REP003", "REP004", "REP005",
+            "REP006", "REP007", "REP008", "REP009", "REP010", "REP011",
+        ):
             assert rule_id in out
 
     def test_workers_matches_serial(self, capsys, tmp_path):
@@ -236,6 +240,42 @@ class TestLint:
         serial = capsys.readouterr().out
         assert main(["lint", target, "--workers", "2"]) == 1
         assert capsys.readouterr().out == serial
+
+    def test_program_rule_without_flag_exits_2(self, capsys, tmp_path):
+        path = self._package_file(tmp_path, "clean.py", self.GOOD)
+        assert main(["lint", str(path), "--select", "REP007"]) == 2
+        assert "--program" in capsys.readouterr().err
+
+    def test_program_flag_runs_interprocedural_rules(self, capsys, tmp_path):
+        serve = tmp_path / "src" / "repro" / "serve"
+        serve.mkdir(parents=True)
+        (serve / "helpers.py").write_text(
+            "import time\n\n\ndef relay(x):\n    time.sleep(0.01)\n    return x\n"
+        )
+        (serve / "app.py").write_text(
+            "from . import helpers\n\n\nasync def handle(x):\n"
+            "    return helpers.relay(x)\n"
+        )
+        target = str(tmp_path / "src")
+        cache = str(tmp_path / "cache.json")
+        argv = ["lint", target, "--program", "--select", "REP007",
+                "--cache-file", cache]
+        assert main(argv) == 1
+        out = capsys.readouterr().out
+        assert "REP007" in out and "transitively blocks" in out
+        # Warm re-run: cached, and byte-identical output.
+        assert main(argv) == 1
+        assert "REP007" in capsys.readouterr().out
+
+    def test_no_cache_writes_nothing(self, capsys, tmp_path, monkeypatch):
+        self._package_file(tmp_path, "clean.py", self.GOOD)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "src", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / ".repro-lint-cache.json").exists()
+        assert main(["lint", "src"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / ".repro-lint-cache.json").exists()
 
 
 class TestSweepDefaultOut:
