@@ -45,7 +45,7 @@ def _build_tree(root):
     return N_DIRS * N_FILES
 
 
-def test_verify_throughput(output_dir, tmp_path):
+def test_verify_throughput(bench_record, tmp_path):
     n_artifacts = _build_tree(tmp_path)
 
     started = time.perf_counter()
@@ -68,11 +68,7 @@ def test_verify_throughput(output_dir, tmp_path):
         "fingerprint_s": round(fingerprint_s, 3),
         "artifacts_per_s": round(n_artifacts / verify_s, 1) if verify_s > 0 else None,
     }
-    write_text_atomic(
-        output_dir / "BENCH_integrity.json", json.dumps(record, indent=2) + "\n"
-    )
-    print()
-    print(json.dumps(record, indent=2))
+    bench_record("BENCH_integrity.json", record)
 
     assert verify_s < VERIFY_BUDGET_S, (
         f"verify_tree took {verify_s:.2f}s over {n_artifacts} artefacts "

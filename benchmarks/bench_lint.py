@@ -14,13 +14,11 @@ acceptance criteria of the analysis PR are gated here:
 The measured numbers land in ``benchmarks/output/BENCH_lint.json``.
 """
 
-import json
 import time
 from pathlib import Path
 
 from repro.analysis import lint_paths
 from repro.analysis.program import link_program, summarize_source
-from repro.runner import write_text_atomic
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 TARGETS = [REPO_ROOT / "src", REPO_ROOT / "benchmarks", REPO_ROOT / "examples"]
@@ -38,7 +36,7 @@ def _discover_sources():
     return discover_files(TARGETS)
 
 
-def test_lint_program_and_cache(output_dir, tmp_path):
+def test_lint_program_and_cache(bench_record, tmp_path):
     cache = tmp_path / "lint-cache.json"
 
     started = time.perf_counter()
@@ -72,11 +70,7 @@ def test_lint_program_and_cache(output_dir, tmp_path):
         "warm_speedup": round(speedup, 1),
         "warm_cached_files": warm.n_cached,
     }
-    write_text_atomic(
-        output_dir / "BENCH_lint.json", json.dumps(record, indent=2) + "\n"
-    )
-    print()
-    print(json.dumps(record, indent=2))
+    bench_record("BENCH_lint.json", record)
 
     assert graph_build_s < GRAPH_BUILD_CEILING_S, (
         f"graph build took {graph_build_s:.1f}s on {cold.n_files} files "

@@ -16,12 +16,10 @@ are cleared before *each* phase so both start cold — otherwise the
 serial phase would warm the parent process for the fork()ed workers.
 """
 
-import json
 import os
 import time
 
 from repro.core.evaluate import _cached_stats
-from repro.runner import write_text_atomic
 from repro.core.explorer import as_point, design_space, run_sweep
 from repro.cache.hierarchy import l1_miss_stream
 from repro.traces.store import clear_trace_cache
@@ -52,7 +50,7 @@ def _sweep_all(workers):
     return points
 
 
-def test_parallel_sweep_speedup(output_dir):
+def test_parallel_sweep_speedup(bench_record):
     n_units = len(WORKLOAD_SET) * len(design_space())
     assert n_units >= 200
 
@@ -82,11 +80,7 @@ def test_parallel_sweep_speedup(output_dir):
         "speedup": round(speedup, 3),
         "gate_applied": workers >= MIN_CPUS_FOR_GATE,
     }
-    write_text_atomic(
-        output_dir / "BENCH_parallel.json", json.dumps(record, indent=2) + "\n"
-    )
-    print()
-    print(json.dumps(record, indent=2))
+    bench_record("BENCH_parallel.json", record)
 
     if workers >= MIN_CPUS_FOR_GATE:
         assert speedup >= SPEEDUP_GATE, (

@@ -21,7 +21,6 @@ import json
 import time
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.runner import write_text_atomic
 from repro.serve import BackgroundServer, ServePolicy
 
 #: The design-point mix every phase cycles through.
@@ -66,7 +65,7 @@ def _summary(samples):
     }
 
 
-def test_serve_load(output_dir, tmp_path):
+def test_serve_load(bench_record, tmp_path):
     payloads = [_payload(l1, l2) for l1, l2 in POINTS]
     policy = ServePolicy(deadline_s=300.0, max_active=N_CLIENTS)
     with BackgroundServer(tmp_path / "store", workers=2, policy=policy) as server:
@@ -115,11 +114,7 @@ def test_serve_load(output_dir, tmp_path):
         "memo_entries": memo["entries"],
         "shed": health["admission"]["shed"],
     }
-    write_text_atomic(
-        output_dir / "BENCH_serve.json", json.dumps(record, indent=2) + "\n"
-    )
-    print()
-    print(json.dumps(record, indent=2))
+    bench_record("BENCH_serve.json", record)
 
     assert hit_rate >= N_WARM_REQUESTS / (N_WARM_REQUESTS + len(payloads)) - 0.01
     assert speedup >= WARM_SPEEDUP_FLOOR, (

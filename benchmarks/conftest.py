@@ -14,7 +14,10 @@ noise, not shape.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -39,6 +42,52 @@ def bench_scale() -> float:
 def output_dir() -> Path:
     _OUTPUT_DIR.mkdir(exist_ok=True)
     return _OUTPUT_DIR
+
+
+def bench_context() -> dict:
+    """Shared provenance block attached to every ``BENCH_*.json``.
+
+    Machine and toolchain identity (python, platform, CPU count), the
+    trace-scale environment knobs, and the git commit — so a bench
+    trajectory is comparable across machines and commits instead of a
+    bare number with no provenance.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        git_sha = proc.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        git_sha = None
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "trace_scale_env": os.environ.get("REPRO_TRACE_SCALE"),
+        "bench_scale_env": os.environ.get("REPRO_BENCH_SCALE"),
+        "git_sha": git_sha,
+    }
+
+
+@pytest.fixture
+def bench_record(output_dir):
+    """Write one ``BENCH_<name>.json`` with the shared context block."""
+
+    def write(name: str, record: dict) -> dict:
+        document = dict(record)
+        document["context"] = bench_context()
+        write_text_atomic(
+            output_dir / name, json.dumps(document, indent=2) + "\n"
+        )
+        print()
+        print(json.dumps(document, indent=2))
+        return document
+
+    return write
 
 
 @pytest.fixture

@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
-from . import atomic_writes, determinism, error_policy, geometry, manifest, picklable
+from . import (
+    atomic_writes,
+    determinism,
+    error_policy,
+    geometry,
+    manifest,
+    picklable,
+    telemetry,
+)
 
 __all__ = [
     "atomic_writes",
@@ -11,4 +19,5 @@ __all__ = [
     "geometry",
     "manifest",
     "picklable",
+    "telemetry",
 ]

@@ -27,7 +27,16 @@ Commands
 ``serve --store DIR [--port P] [--workers N]``
     Answer evaluate/TPI/sweep/envelope queries over HTTP with
     content-addressed memoization, request coalescing, admission
-    control, and a circuit breaker; see ``docs/api.md``.
+    control, and a circuit breaker; see ``docs/api.md``.  Live
+    telemetry is exposed on ``GET /metrics`` (Prometheus text) and
+    ``GET /v1/stats`` (JSON).
+``metrics <run-dir> [--format json]``
+    Print a run directory's metrics: ``METRICS.jsonl`` when the run
+    recorded telemetry, else counters synthesized from its journal —
+    so pre-telemetry run directories still report.
+``spans <run-dir> [--limit N] [--format json]``
+    Print a run directory's span tree from ``SPANS.jsonl`` (requires
+    the run to have used ``--telemetry``).
 ``lint [paths] [--format json] [--select ...] [--program] [--no-cache]``
     Run the repro static-analysis checkers (atomic writes,
     determinism, error policy, pool picklability, geometry literals,
@@ -52,7 +61,11 @@ Commands
 
 ``report``, ``sweep``, ``lint``, ``verify``, ``chaos``, and ``serve``
 accept ``--workers N`` (or ``--workers auto``) to fan units out over
-worker processes with identical output.
+worker processes with identical output.  ``report`` and ``sweep``
+accept ``--telemetry`` to record ``METRICS.jsonl`` + ``SPANS.jsonl``
+into the run directory (volatile artefacts: result bytes are
+unchanged); ``sweep`` additionally accepts ``--profile`` to write a
+cProfile ``profiles/<unit>.prof`` per design point.
 
 Library failures (:class:`~repro.errors.ReproError`) print a one-line
 ``error: …`` to stderr and exit with code 2; pass ``--debug`` for the
@@ -75,6 +88,7 @@ from .core.envelope import best_envelope
 from .core.evaluate import evaluate
 from .core.explorer import default_sweep_dir, design_space, run_sweep_dir, sweep
 from .errors import IntegrityError, LintError, ReproError
+from .obs import load_run_metrics, load_run_spans, render_metrics, render_spans
 from .runner import verify_tree
 from .serve import ServePolicy, run_serve
 from .study import experiment_ids, get_experiment
@@ -206,6 +220,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         retries=args.retries,
         workers=args.workers,
+        telemetry=args.telemetry,
     )
     print(f"wrote {len(written)} experiments to {args.out}")
     manifest = Path(args.out) / FAILURES_NAME
@@ -237,6 +252,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         retries=args.retries,
         resume=args.resume,
         workers=args.workers,
+        telemetry=args.telemetry,
+        profile=args.profile,
     )
     if not args.out:
         print(f"sweep directory: {out}")
@@ -247,6 +264,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             run.raise_first_failure()
         print(f"{len(run.failed)} design point(s) failed", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    samples, source = load_run_metrics(args.run_dir)
+    if args.format == "json":
+        print(json.dumps({"source": source, "metrics": samples}, indent=2))
+    else:
+        print(render_metrics(samples, source))
+    return 0
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    records = load_run_spans(args.run_dir)
+    if args.format == "json":
+        print(json.dumps(records, indent=2))
+    else:
+        print(render_spans(records, limit=args.limit))
     return 0
 
 
@@ -439,6 +474,12 @@ def _build_parser() -> argparse.ArgumentParser:
             help="run units in N worker processes ('auto' = one per CPU; "
             "default: serial); output is identical to a serial run",
         )
+        p.add_argument(
+            "--telemetry",
+            action="store_true",
+            help="record METRICS.jsonl + SPANS.jsonl into the run "
+            "directory (volatile artefacts; result bytes unchanged)",
+        )
 
     report = sub.add_parser(
         "report", help="regenerate experiments into a results directory"
@@ -457,7 +498,51 @@ def _build_parser() -> argparse.ArgumentParser:
     add_config_args(sw)
     sw.add_argument("--out", default="", help="directory for journal + sweep.tsv")
     add_runner_args(sw)
+    sw.add_argument(
+        "--profile",
+        action="store_true",
+        help="write a cProfile profiles/<unit>.prof per design point "
+        "(pstats format; load with pstats.Stats)",
+    )
     sw.set_defaults(func=_cmd_sweep)
+
+    metrics = sub.add_parser(
+        "metrics", help="print a run directory's metrics"
+    )
+    metrics.add_argument(
+        "run_dir",
+        help="a directory written by repro report/sweep (METRICS.jsonl "
+        "when the run recorded telemetry, else synthesized from its "
+        "journal)",
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
+
+    spans = sub.add_parser(
+        "spans", help="print a run directory's span tree"
+    )
+    spans.add_argument(
+        "run_dir", help="a directory written with --telemetry (SPANS.jsonl)"
+    )
+    spans.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show at most N spans (default: all)",
+    )
+    spans.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    spans.set_defaults(func=_cmd_spans)
 
     verify = sub.add_parser(
         "verify", help="verify artefact integrity under a results tree"

@@ -18,6 +18,9 @@ import json
 
 from ..cache.hierarchy import Policy, l1_miss_stream
 from ..errors import RunnerError
+from ..obs.profile import PROFILE_DIR_NAME
+from ..obs.telemetry import Telemetry
+from ..obs.telemetry import current as current_telemetry
 from ..runner import (
     PoolRunner,
     ResourceWatchdog,
@@ -200,15 +203,33 @@ class _EvaluateRun:
     shared: bool = False
 
     def __call__(self) -> SystemPerformance:
+        # Hot-path instrumentation rides the ambient bundle the engine
+        # activated (the shared DISABLED no-op otherwise).  Phases are
+        # timed *around* the model calls — the model packages stay
+        # clock-free (REP002) and time is only read inside the tracer
+        # through its injected clock (REP012).
+        telemetry = current_telemetry()
         if not self.shared:
-            return evaluate(self.config, self.workload, scale=self.scale)
-        trace = _SHARED_TRACES.get(self.workload)
-        if trace is None:
-            raise RunnerError(
-                f"shared trace {self.workload!r} is not registered in this "
-                f"process; the sweep pool initializer did not run"
+            with telemetry.span("trace") as trace_span:
+                trace = get_trace(self.workload, self.scale)
+            telemetry.observe("repro_trace_seconds", trace_span.duration_s)
+        else:
+            trace = _SHARED_TRACES.get(self.workload)
+            if trace is None:
+                raise RunnerError(
+                    f"shared trace {self.workload!r} is not registered in this "
+                    f"process; the sweep pool initializer did not run"
+                )
+        with telemetry.span("simulate") as sim_span:
+            perf = evaluate(self.config, trace)
+        n_refs = perf.stats.n_refs
+        telemetry.count("repro_refs_total", float(n_refs))
+        telemetry.observe("repro_simulate_seconds", sim_span.duration_s)
+        if sim_span.duration_s > 0:
+            telemetry.gauge_max(
+                "repro_refs_per_second", n_refs / sim_span.duration_s
             )
-        return evaluate(self.config, trace)
+        return perf
 
 
 def _sweep_worker_init(
@@ -274,6 +295,8 @@ def run_sweep(
     workers: Union[None, int, str] = None,
     submit_order: Optional[Sequence[int]] = None,
     watchdog: Optional[ResourceWatchdog] = None,
+    telemetry: Optional[Telemetry] = None,
+    profile_dir: "Union[str, Path, None]" = None,
 ) -> RunResult:
     """Evaluate configurations through the resilient engine.
 
@@ -293,18 +316,26 @@ def run_sweep(
     order (wall-clock ``elapsed_s`` measurements aside).
     ``submit_order`` permutes submission order only (used by the
     differential tests to prove order independence).
+
+    ``telemetry`` records per-unit spans and counters (merged across
+    workers in the parallel case); ``profile_dir`` opts into per-unit
+    :mod:`cProfile` capture.  Neither changes any result or artefact
+    byte — the sweep's outputs are identical with telemetry on or off.
     """
     journal = (
         RunJournal.open(journal_path, resume=resume) if journal_path is not None else None
     )
     units = _sweep_units(workload, configs, scale)
     n_workers = resolve_workers(workers)
+    profile_path = Path(profile_dir) if profile_dir is not None else None
     if n_workers is None:
         runner: "Union[Runner, PoolRunner]" = Runner(
             journal=journal,
             retry=RetryPolicy(max_attempts=retries + 1),
             timeout_s=timeout_s,
             keep_going=keep_going,
+            telemetry=telemetry,
+            profile_dir=profile_path,
         )
     else:
         l1_shapes = sorted({(c.l1_bytes, c.line_size) for c in configs})
@@ -318,6 +349,8 @@ def run_sweep(
             initargs=(workload, scale, l1_shapes),
             submit_order=submit_order,
             watchdog=watchdog,
+            telemetry=telemetry,
+            profile_dir=profile_path,
         )
     return runner.run(units)
 
@@ -358,6 +391,8 @@ def run_sweep_dir(
     resume: bool = False,
     workers: Union[None, int, str] = None,
     watchdog: Optional[ResourceWatchdog] = None,
+    telemetry: Union[bool, Telemetry] = False,
+    profile: bool = False,
 ) -> Tuple[RunResult, List[SweepPoint]]:
     """Sweep the paper's design space into a managed artefact directory.
 
@@ -367,10 +402,25 @@ def run_sweep_dir(
     describing how to reproduce the sweep, and a ``MANIFEST.json``
     binding them together.  ``resume=True`` restores finished points
     from the journal instead of re-simulating them.
+
+    ``telemetry`` (True, or a pre-built bundle) additionally writes
+    ``METRICS.jsonl`` / ``SPANS.jsonl`` into the directory — volatile
+    artefacts, like the journal — and ``profile`` captures a per-unit
+    cProfile under ``profiles/``.  Every result-bearing artefact stays
+    byte-identical to a telemetry-off run.
     """
     out_dir = Path(out)
     out_dir.mkdir(parents=True, exist_ok=True)
+    bundle: Optional[Telemetry]
+    if isinstance(telemetry, Telemetry):
+        bundle = telemetry.bind(out_dir)
+    elif telemetry:
+        bundle = Telemetry().bind(out_dir)
+    else:
+        bundle = None
     guard = watchdog if watchdog is not None else ResourceWatchdog()
+    if guard.telemetry is None:
+        guard.telemetry = bundle
     guard.preflight_disk(out_dir)
     metadata = {
         "run": 1,
@@ -396,6 +446,8 @@ def run_sweep_dir(
         resume=resume,
         workers=workers,
         watchdog=guard,
+        telemetry=bundle,
+        profile_dir=(out_dir / PROFILE_DIR_NAME) if profile else None,
     )
     points = [as_point(value) for value in result.values()]
     lines = [

@@ -21,6 +21,7 @@ __all__ = [
     "ServeError",
     "UnitTimeoutError",
     "LintError",
+    "ObsError",
 ]
 
 
@@ -111,6 +112,16 @@ class LintError(ReproError):
     an unknown rule id in ``--select``/``--ignore``.  Findings are not
     errors — ``repro lint`` reports them and exits 1; this class covers
     the exit-2 internal-error path.
+    """
+
+
+class ObsError(ReproError):
+    """The telemetry subsystem was misused or its artefacts are unusable.
+
+    Examples: an invalid metric name or label set, merging snapshots of
+    incompatible metric types, or a ``repro metrics`` / ``repro spans``
+    target directory that holds neither telemetry files nor a journal
+    to synthesise them from.
     """
 
 

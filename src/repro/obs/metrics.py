@@ -1,0 +1,361 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The registry is the numeric half of the telemetry layer (spans are the
+structural half, :mod:`repro.obs.spans`).  Metrics are identified by a
+Prometheus-style name plus a label set; three instrument types cover
+everything the execution layers need:
+
+* **counter** — monotonically increasing totals (units run, retries,
+  memo hits);
+* **gauge** — a sampled level (peak worker RSS, free disk, breaker
+  state);
+* **histogram** — a distribution over fixed buckets (unit durations,
+  request latency), recorded as cumulative bucket counts plus sum and
+  count, exactly the shape Prometheus expects.
+
+Snapshots are plain JSON-safe lists so they pickle across pool workers;
+:meth:`MetricsRegistry.merge` folds a worker's snapshot into the parent
+registry (counters and histograms add, gauges keep the maximum — the
+right semantics for high-water marks, the only gauges workers report).
+Rendering targets two consumers: ``render_prometheus`` for the serve
+tier's ``GET /metrics`` and the JSONL snapshot format
+(:func:`metrics_jsonl`, :func:`load_metrics_file`) for run directories.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Type, TypeVar, Union
+
+from ..errors import ObsError
+
+__all__ = [
+    "METRICS_NAME",
+    "METRICS_SCHEMA",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics_jsonl",
+    "load_metrics_file",
+]
+
+#: Canonical file name of a run directory's metrics snapshot.
+METRICS_NAME = "METRICS.jsonl"
+
+#: Format version of the metrics snapshot file.
+METRICS_SCHEMA = 1
+
+#: Duration buckets (seconds) sized for unit runs and request latency.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+_InstrumentT = TypeVar("_InstrumentT", bound="_Instrument")
+
+
+def _label_pairs(labels: Optional[Dict[str, str]]) -> LabelPairs:
+    if not labels:
+        return ()
+    pairs = []
+    for key in sorted(labels):
+        if not _LABEL_RE.match(key):
+            raise ObsError(f"invalid metric label name {key!r}")
+        pairs.append((key, str(labels[key])))
+    return tuple(pairs)
+
+
+class _Instrument:
+    """Shared identity of one (name, labels) time series."""
+
+    kind = "none"
+
+    def __init__(self, name: str, labels: LabelPairs):
+        self.name = name
+        self.labels = labels
+
+    def sample(self) -> dict:
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelPairs):
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObsError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def set_to(self, value: float) -> None:
+        """Project an externally tracked total into this counter.
+
+        Used by the serve tier, whose live objects (memo store,
+        admission controller) already maintain authoritative totals;
+        the counter mirrors them at render time instead of
+        double-counting.
+        """
+        self.value = float(value)
+
+    def sample(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge(_Instrument):
+    """A sampled level; merge keeps the maximum (high-water semantics)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelPairs):
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        self.value = max(self.value, float(value))
+
+    def sample(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Histogram(_Instrument):
+    """A distribution over fixed buckets (cumulative, Prometheus-style)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelPairs,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, labels)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ObsError(f"histogram {name} needs at least one bucket")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # + overflow (+Inf)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def sample(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "buckets": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home of every instrument, with snapshot/merge.
+
+    Thread-safe: the serve tier updates instruments from the event-loop
+    thread while ``BackgroundServer`` tests read snapshots from the
+    main thread, and the pool parent merges worker snapshots while
+    futures complete.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelPairs], _Instrument] = {}
+        self._lock = threading.RLock()
+
+    def _get(
+        self,
+        cls: Type[_InstrumentT],
+        name: str,
+        labels: Optional[Dict[str, str]],
+        **kwargs: Any,
+    ) -> _InstrumentT:
+        if not _NAME_RE.match(name):
+            raise ObsError(f"invalid metric name {name!r}")
+        key = (name, _label_pairs(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, key[1], **kwargs)
+                self._instruments[key] = instrument
+            if not isinstance(instrument, cls):
+                raise ObsError(
+                    f"metric {name!r} already registered as {instrument.kind}"
+                )
+            return instrument
+
+    def counter(self, name: str, labels: Optional[Dict[str, str]] = None) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, labels: Optional[Dict[str, str]] = None) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def snapshot(self) -> List[dict]:
+        """JSON-safe samples of every instrument, deterministically ordered."""
+        with self._lock:
+            samples = [i.sample() for i in self._instruments.values()]
+        samples.sort(key=lambda s: (s["name"], sorted(s["labels"].items())))
+        return samples
+
+    def merge(self, samples: Iterable[dict]) -> None:
+        """Fold a snapshot (e.g. from a pool worker) into this registry.
+
+        Counters and histogram buckets add; gauges keep the maximum.
+        Raises :class:`~repro.errors.ObsError` on malformed samples or
+        a type conflict with an existing instrument.
+        """
+        for sample in samples:
+            if not isinstance(sample, dict) or "name" not in sample:
+                raise ObsError(f"malformed metric sample: {sample!r}")
+            name = sample["name"]
+            labels = sample.get("labels") or {}
+            kind = sample.get("type")
+            if kind == "counter":
+                self.counter(name, labels).inc(float(sample.get("value", 0.0)))
+            elif kind == "gauge":
+                self.gauge(name, labels).set_max(float(sample.get("value", 0.0)))
+            elif kind == "histogram":
+                histogram = self.histogram(
+                    name, labels, buckets=sample.get("buckets", DEFAULT_BUCKETS)
+                )
+                counts = sample.get("bucket_counts", [])
+                if list(histogram.bounds) != [float(b) for b in sample.get("buckets", [])] or len(
+                    counts
+                ) != len(histogram.bucket_counts):
+                    raise ObsError(
+                        f"histogram {name!r}: incompatible bucket layout in merge"
+                    )
+                for index, count in enumerate(counts):
+                    histogram.bucket_counts[index] += int(count)
+                histogram.sum += float(sample.get("sum", 0.0))
+                histogram.count += int(sample.get("count", 0))
+            else:
+                raise ObsError(f"unknown metric type {kind!r} for {name!r}")
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: List[str] = []
+        seen_types: Dict[str, str] = {}
+        for sample in self.snapshot():
+            name = sample["name"]
+            if name not in seen_types:
+                seen_types[name] = sample["type"]
+                lines.append(f"# TYPE {name} {sample['type']}")
+            labels = _format_labels(sample["labels"])
+            if sample["type"] == "histogram":
+                cumulative = 0
+                for bound, count in zip(
+                    sample["buckets"], sample["bucket_counts"]
+                ):
+                    cumulative += count
+                    le = _format_labels({**sample["labels"], "le": _fmt(bound)})
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                cumulative += sample["bucket_counts"][-1]
+                le = _format_labels({**sample["labels"], "le": "+Inf"})
+                lines.append(f"{name}_bucket{le} {cumulative}")
+                lines.append(f"{name}_sum{labels} {_fmt(sample['sum'])}")
+                lines.append(f"{name}_count{labels} {sample['count']}")
+            else:
+                lines.append(f"{name}{labels} {_fmt(sample['value'])}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def metrics_jsonl(samples: Sequence[dict]) -> str:
+    """Serialise samples as the ``METRICS.jsonl`` file body."""
+    lines = [json.dumps({"metrics": METRICS_SCHEMA})]
+    lines += [json.dumps(sample, sort_keys=True) for sample in samples]
+    return "\n".join(lines) + "\n"
+
+
+def load_metrics_file(path: Union[str, Path]) -> List[dict]:
+    """Parse a ``METRICS.jsonl`` file back into a list of samples."""
+    path = Path(path)
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as error:
+        raise ObsError(f"{path}: cannot read metrics snapshot: {error}") from None
+    if not lines:
+        raise ObsError(f"{path}: empty metrics snapshot")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        raise ObsError(f"{path}: corrupt metrics header") from None
+    if not isinstance(header, dict) or header.get("metrics") != METRICS_SCHEMA:
+        raise ObsError(
+            f"{path}: unsupported metrics format {header!r}; "
+            f"this repro reads metrics schema {METRICS_SCHEMA}"
+        )
+    samples: List[dict] = []
+    for number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            sample = json.loads(line)
+        except json.JSONDecodeError:
+            raise ObsError(f"{path}:{number}: corrupt metrics sample") from None
+        if not isinstance(sample, dict) or "name" not in sample:
+            raise ObsError(f"{path}:{number}: malformed metrics sample")
+        samples.append(sample)
+    return samples

@@ -1,0 +1,232 @@
+"""Structured spans: nested timed scopes written to ``SPANS.jsonl``.
+
+A span is one timed scope of execution — a whole unit, one simulation
+call inside it, one HTTP request — with an id, an optional parent (the
+span open when it started), a duration from the injected monotonic
+clock, and free-form string attributes.  Spans nest through the
+tracer's open-span stack, so instrumented code never threads parent
+ids by hand:
+
+.. code-block:: python
+
+    with tracer.span("unit", unit="0004:1:8"):
+        with tracer.span("simulate"):
+            ...  # recorded with the unit span as parent
+
+Records are plain JSON-safe dicts so a pool worker's spans pickle back
+to the parent, which absorbs them with :meth:`Tracer.absorb` (ids are
+re-based to stay unique).  On flush the file is canonically reordered
+and re-numbered by unit submission order
+(:func:`canonical_spans` — the span-file analogue of the journal's
+``rewrite_ordered``), making its *structure* independent of worker
+count and completion order; only the measured timings are volatile.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from ..errors import ObsError
+from .clock import SYSTEM_CLOCK, Clock
+
+__all__ = [
+    "SPANS_NAME",
+    "SPANS_SCHEMA",
+    "Span",
+    "Tracer",
+    "canonical_spans",
+    "spans_jsonl",
+    "load_spans_file",
+]
+
+#: Canonical file name of a run directory's span log.
+SPANS_NAME = "SPANS.jsonl"
+
+#: Format version of the span log file.
+SPANS_SCHEMA = 1
+
+
+class Span:
+    """One open scope; mutate attributes via :meth:`set` before it closes."""
+
+    __slots__ = ("id", "parent", "name", "attrs", "start", "duration_s", "status")
+
+    def __init__(self, span_id: int, parent: Optional[int], name: str, attrs: Dict[str, str]):
+        self.id = span_id
+        self.parent = parent
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.duration_s = 0.0
+        self.status = "ok"
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes discovered mid-span (e.g. response status)."""
+        for key, value in attrs.items():
+            self.attrs[key] = str(value)
+        return self
+
+    def record(self) -> dict:
+        return {
+            "id": self.id,
+            "parent": self.parent,
+            "name": self.name,
+            "unit": self.attrs.get("unit"),
+            "start": round(self.start, 6),
+            "duration_s": round(self.duration_s, 6),
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Records spans against an injected clock.
+
+    ``max_spans`` bounds memory for long-lived processes (the serve
+    tier keeps a ring of recent request spans); batch runs leave it
+    unset and flush to disk instead.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None, max_spans: Optional[int] = None):
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.max_spans = max_spans
+        self._records: List[dict] = []
+        self._stack: List[Span] = []
+        self._seq = 0
+        #: Total spans ever recorded (unaffected by the ring bound).
+        self.recorded = 0
+
+    @contextmanager
+    def span(self, name: str, root: bool = False, **attrs: object) -> Iterator[Span]:
+        """Open a child of the innermost open span; closes on exit.
+
+        The span is recorded on exit with its measured duration; an
+        escaping exception marks it ``status="error"`` and re-raises.
+        Spans inherit their parent's ``unit`` attribute unless given
+        one explicitly, so hot-path phases stay attributable.
+
+        ``root=True`` records a top-level span that neither takes a
+        parent nor joins the nesting stack.  Concurrently interleaved
+        scopes — asyncio request handlers that await mid-span — must
+        use it: the open-span stack assumes strictly nested lifetimes,
+        which interleaving breaks.
+        """
+        self._seq += 1
+        parent = None if root else (self._stack[-1] if self._stack else None)
+        attributes = {key: str(value) for key, value in attrs.items()}
+        if parent is not None and "unit" not in attributes and "unit" in parent.attrs:
+            attributes["unit"] = parent.attrs["unit"]
+        span = Span(self._seq, parent.id if parent else None, name, attributes)
+        span.start = self.clock.wall()
+        started = self.clock.monotonic()
+        if not root:
+            self._stack.append(span)
+        try:
+            yield span
+        except BaseException:
+            span.status = "error"
+            raise
+        finally:
+            span.duration_s = self.clock.monotonic() - started
+            if not root:
+                self._stack.pop()
+            self._append(span.record())
+
+    def _append(self, record: dict) -> None:
+        self._records.append(record)
+        self.recorded += 1
+        if self.max_spans is not None and len(self._records) > self.max_spans:
+            del self._records[: len(self._records) - self.max_spans]
+
+    def absorb(self, records: Sequence[dict]) -> None:
+        """Fold another tracer's records in, re-basing ids to stay unique."""
+        base = self._seq
+        highest = base
+        for record in records:
+            if not isinstance(record, dict) or "id" not in record or "name" not in record:
+                raise ObsError(f"malformed span record: {record!r}")
+            moved = dict(record)
+            moved["id"] = record["id"] + base
+            if record.get("parent") is not None:
+                moved["parent"] = record["parent"] + base
+            highest = max(highest, moved["id"])
+            self._append(moved)
+        self._seq = highest
+
+    def records(self) -> List[dict]:
+        """Recorded spans in completion order (a copy)."""
+        return list(self._records)
+
+
+def canonical_spans(records: Sequence[dict], unit_order: Sequence[str]) -> List[dict]:
+    """Reorder and re-number spans by unit submission order.
+
+    A parallel run records spans as workers finish, so raw order and
+    ids depend on scheduling.  Grouped stably by the ``unit`` attribute
+    (spans with no unit keep their relative position, first) and
+    re-numbered sequentially with parent links preserved, the output is
+    independent of worker count — the same guarantee
+    ``RunJournal.rewrite_ordered`` gives the journal.
+    """
+    position = {unit_id: index for index, unit_id in enumerate(unit_order)}
+
+    def group(record: dict) -> int:
+        unit = record.get("unit")
+        if unit is None:
+            return -1
+        return position.get(unit, len(position))
+
+    ordered = sorted(records, key=group)  # sorted() is stable
+    renumber: Dict[int, int] = {}
+    for fresh, record in enumerate(ordered, start=1):
+        renumber[record["id"]] = fresh
+    result = []
+    for record in ordered:
+        moved = dict(record)
+        moved["id"] = renumber[record["id"]]
+        parent = record.get("parent")
+        moved["parent"] = renumber.get(parent) if parent is not None else None
+        result.append(moved)
+    return result
+
+
+def spans_jsonl(records: Sequence[dict]) -> str:
+    """Serialise span records as the ``SPANS.jsonl`` file body."""
+    lines = [json.dumps({"spans": SPANS_SCHEMA})]
+    lines += [json.dumps(record, sort_keys=True) for record in records]
+    return "\n".join(lines) + "\n"
+
+
+def load_spans_file(path: Union[str, Path]) -> List[dict]:
+    """Parse a ``SPANS.jsonl`` file back into a list of span records."""
+    path = Path(path)
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as error:
+        raise ObsError(f"{path}: cannot read span log: {error}") from None
+    if not lines:
+        raise ObsError(f"{path}: empty span log")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        raise ObsError(f"{path}: corrupt span log header") from None
+    if not isinstance(header, dict) or header.get("spans") != SPANS_SCHEMA:
+        raise ObsError(
+            f"{path}: unsupported span log format {header!r}; "
+            f"this repro reads span schema {SPANS_SCHEMA}"
+        )
+    records: List[dict] = []
+    for number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            raise ObsError(f"{path}:{number}: corrupt span record") from None
+        if not isinstance(record, dict) or "id" not in record or "name" not in record:
+            raise ObsError(f"{path}:{number}: malformed span record")
+        records.append(record)
+    return records

@@ -36,8 +36,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
+from pathlib import Path
+
 from ..errors import RunnerError, UnitTimeoutError
 from ..lfsr import Lfsr16
+from ..obs.profile import capture_profile, profile_path
+from ..obs.telemetry import DISABLED as _DISABLED_TELEMETRY
+from ..obs.telemetry import Telemetry, activate
 from . import faults
 from .journal import RunJournal, unit_key
 
@@ -158,13 +163,23 @@ class RunUnit:
 
 @dataclass(frozen=True)
 class UnitOutcome:
-    """What happened to one unit: ok, skipped (journal hit), or failed."""
+    """What happened to one unit: ok, skipped (journal hit), or failed.
+
+    ``elapsed_s`` spans the whole attempt loop (including backoff
+    sleeps); ``duration_s`` is the final attempt's wall time alone —
+    the number performance work cares about.  ``started_at`` /
+    ``ended_at`` are Unix timestamps of the loop's boundaries (0.0 for
+    skipped units, which never execute).
+    """
 
     unit_id: str
     status: str
     value: Any = None
     attempts: int = 0
     elapsed_s: float = 0.0
+    duration_s: float = 0.0
+    started_at: float = 0.0
+    ended_at: float = 0.0
     error: Optional[dict] = None
     exception: Optional[BaseException] = field(default=None, repr=False)
 
@@ -271,6 +286,8 @@ def execute_attempts(
     timeout_s: Optional[float] = None,
     sleep: Callable[[float], None] = time.sleep,
     force_deadline: bool = False,
+    telemetry: Optional[Telemetry] = None,
+    profile_dir: Optional[Path] = None,
 ) -> UnitOutcome:
     """Run one unit's full attempt loop; never touches a journal.
 
@@ -281,38 +298,76 @@ def execute_attempts(
     hook before every attempt.  Unit failures come back as a ``failed``
     :class:`UnitOutcome`; ``BaseException`` (KeyboardInterrupt,
     injected crashes) propagates.
+
+    ``telemetry`` wraps the loop in a ``unit`` span, counts outcomes /
+    retries / timeouts, and is *activated* around the attempts so
+    instrumented unit bodies can reach it ambiently
+    (:func:`repro.obs.current`).  ``profile_dir`` additionally captures
+    a per-unit :mod:`cProfile` into ``<profile_dir>/<unit>.prof`` (the
+    last attempt wins).  Neither affects the outcome: telemetry is
+    measured *around* the model code, never inside it (REP002), and a
+    telemetry-off run is byte-identical.
     """
     retry = retry if retry is not None else RetryPolicy()
+    telemetry = telemetry if telemetry is not None else _DISABLED_TELEMETRY
+    profile_to = (
+        profile_path(profile_dir, unit.unit_id) if profile_dir is not None else None
+    )
+    started_wall = time.time()
     started = time.monotonic()
     attempts = 0
-    while True:
-        attempts += 1
-        try:
-            with unit_timeout(timeout_s, force_deadline=force_deadline):
-                # The scope lets write-path fault hooks (and any future
-                # per-write bookkeeping) attribute writes to this unit.
-                with faults.unit_scope(unit.unit_id):
-                    faults.before_unit(unit.unit_id)
-                    value = unit.run()
-        except Exception as error:
+    with telemetry.span("unit", unit=unit.unit_id) as span, activate(telemetry):
+        while True:
+            attempts += 1
+            attempt_started = time.monotonic()
+            try:
+                with unit_timeout(timeout_s, force_deadline=force_deadline):
+                    # The scope lets write-path fault hooks (and any future
+                    # per-write bookkeeping) attribute writes to this unit.
+                    with faults.unit_scope(unit.unit_id):
+                        faults.before_unit(unit.unit_id)
+                        with capture_profile(profile_to):
+                            value = unit.run()
+            except Exception as error:
+                elapsed = time.monotonic() - started
+                duration = time.monotonic() - attempt_started
+                transient = not isinstance(error, UnitTimeoutError)
+                if transient and attempts < retry.max_attempts:
+                    telemetry.count("repro_retries_total")
+                    sleep(retry.delay(attempts, unit.unit_id))
+                    continue
+                if isinstance(error, UnitTimeoutError):
+                    telemetry.count("repro_timeouts_total")
+                telemetry.count("repro_units_total", status="failed")
+                telemetry.observe("repro_unit_duration_seconds", duration)
+                span.set(status="failed", attempts=attempts)
+                record = error_record(unit, error, attempts, elapsed)
+                return UnitOutcome(
+                    unit.unit_id,
+                    "failed",
+                    attempts=attempts,
+                    elapsed_s=elapsed,
+                    duration_s=duration,
+                    started_at=started_wall,
+                    ended_at=time.time(),
+                    error=record,
+                    exception=error,
+                )
             elapsed = time.monotonic() - started
-            transient = not isinstance(error, UnitTimeoutError)
-            if transient and attempts < retry.max_attempts:
-                sleep(retry.delay(attempts, unit.unit_id))
-                continue
-            record = error_record(unit, error, attempts, elapsed)
+            duration = time.monotonic() - attempt_started
+            telemetry.count("repro_units_total", status="ok")
+            telemetry.observe("repro_unit_duration_seconds", duration)
+            span.set(status="ok", attempts=attempts)
             return UnitOutcome(
                 unit.unit_id,
-                "failed",
+                "ok",
+                value=value,
                 attempts=attempts,
                 elapsed_s=elapsed,
-                error=record,
-                exception=error,
+                duration_s=duration,
+                started_at=started_wall,
+                ended_at=time.time(),
             )
-        elapsed = time.monotonic() - started
-        return UnitOutcome(
-            unit.unit_id, "ok", value=value, attempts=attempts, elapsed_s=elapsed
-        )
 
 
 def resume_outcome(journal: Optional[RunJournal], unit: RunUnit) -> Optional[UnitOutcome]:
@@ -352,12 +407,16 @@ class Runner:
         timeout_s: Optional[float] = None,
         keep_going: bool = False,
         sleep: Callable[[float], None] = time.sleep,
+        telemetry: Optional[Telemetry] = None,
+        profile_dir: Optional[Path] = None,
     ):
         self.journal = journal
         self.retry = retry if retry is not None else RetryPolicy()
         self.timeout_s = timeout_s
         self.keep_going = keep_going
         self._sleep = sleep
+        self.telemetry = telemetry if telemetry is not None else _DISABLED_TELEMETRY
+        self.profile_dir = profile_dir
 
     def run(self, units: Sequence[RunUnit]) -> RunResult:
         outcomes: List[UnitOutcome] = []
@@ -366,6 +425,7 @@ class Runner:
             outcomes.append(outcome)
             if outcome.status == "failed" and not self.keep_going:
                 break
+        self.telemetry.flush([unit.unit_id for unit in units])
         return RunResult(tuple(outcomes))
 
     def _resume_outcome(self, unit: RunUnit) -> Optional[UnitOutcome]:
@@ -374,9 +434,15 @@ class Runner:
     def _run_unit(self, unit: RunUnit) -> UnitOutcome:
         skipped = self._resume_outcome(unit)
         if skipped is not None:
+            self.telemetry.count("repro_units_total", status="skipped")
             return skipped
         outcome = execute_attempts(
-            unit, retry=self.retry, timeout_s=self.timeout_s, sleep=self._sleep
+            unit,
+            retry=self.retry,
+            timeout_s=self.timeout_s,
+            sleep=self._sleep,
+            telemetry=self.telemetry,
+            profile_dir=self.profile_dir,
         )
         if self.journal is not None:
             if outcome.status == "ok":
@@ -391,6 +457,9 @@ class Runner:
                     "ok",
                     attempts=outcome.attempts,
                     elapsed_s=outcome.elapsed_s,
+                    duration_s=outcome.duration_s,
+                    started_at=outcome.started_at,
+                    ended_at=outcome.ended_at,
                     result=stored,
                 )
             else:
@@ -400,6 +469,10 @@ class Runner:
                     "failed",
                     attempts=outcome.attempts,
                     elapsed_s=outcome.elapsed_s,
+                    duration_s=outcome.duration_s,
+                    started_at=outcome.started_at,
+                    ended_at=outcome.ended_at,
                     error=outcome.error,
                 )
+        self.telemetry.unit_done()
         return outcome

@@ -33,10 +33,13 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
 
 from ..errors import IntegrityError
 from .atomic import write_text_atomic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.telemetry import Telemetry
 
 __all__ = [
     "MANIFEST_NAME",
@@ -165,11 +168,18 @@ def untrack(path: Union[str, Path]) -> None:
 def is_volatile(name: str) -> bool:
     """True for artefacts whose bytes legitimately differ between runs.
 
-    Run journals carry wall-clock ``elapsed_s`` and attempt counts, so
-    two byte-equivalent runs still produce different journals; they are
-    tracked by existence + sidecar, never by a manifest digest.
+    Run journals carry wall-clock ``elapsed_s`` and attempt counts, and
+    the telemetry snapshots (``METRICS.jsonl`` / ``SPANS.jsonl``) are
+    made of measured durations, so two byte-equivalent runs still
+    produce different copies; they are tracked by existence + sidecar,
+    never by a manifest digest — which keeps the manifest's digest map
+    identical between telemetry-on and telemetry-off runs.
     """
-    return name == "journal.jsonl" or name.endswith(".journal.jsonl")
+    return (
+        name == "journal.jsonl"
+        or name.endswith(".journal.jsonl")
+        or name in ("METRICS.jsonl", "SPANS.jsonl")
+    )
 
 
 def _is_integrity_name(name: str) -> bool:
@@ -343,7 +353,11 @@ def _try_hash(path: Path) -> Optional[str]:
         return None
 
 
-def verify_tree(root: Union[str, Path], repair: bool = False) -> IntegrityReport:
+def verify_tree(
+    root: Union[str, Path],
+    repair: bool = False,
+    telemetry: Optional["Telemetry"] = None,
+) -> IntegrityReport:
     """Re-hash every tracked artefact under ``root`` and cross-check.
 
     For each artefact the file's current digest is compared against its
@@ -358,9 +372,14 @@ def verify_tree(root: Union[str, Path], repair: bool = False) -> IntegrityReport
       manifest from sidecars and rewrites sidecars from files that
       still match the manifest.
 
-    Volatile artefacts (journals) are checked for existence and sidecar
-    freshness only and are never quarantined — the journal format
-    validates itself on load.
+    Volatile artefacts (journals, telemetry snapshots) are checked for
+    existence and sidecar freshness only and are never quarantined —
+    the journal format validates itself on load.
+
+    ``telemetry`` (a :class:`~repro.obs.telemetry.Telemetry` bundle, or
+    None) counts the walk: artefacts verified, findings by kind, and
+    quarantines — the corruption counters the chaos soak and the serve
+    memo store surface.
     """
     root = Path(root)
     findings: List[IntegrityFinding] = []
@@ -373,6 +392,12 @@ def verify_tree(root: Union[str, Path], repair: bool = False) -> IntegrityReport
         n_artifacts += n_here
         if repair and any(f.action for f in findings_here):
             write_manifest(directory)
+    if telemetry is not None:
+        telemetry.count("repro_integrity_verified_total", float(n_artifacts))
+        for finding in findings:
+            telemetry.count("repro_integrity_findings_total", kind=finding.kind)
+            if finding.action.startswith("quarantined"):
+                telemetry.count("repro_integrity_quarantined_total")
     return IntegrityReport(
         root=str(root),
         findings=tuple(findings),

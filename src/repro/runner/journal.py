@@ -7,12 +7,17 @@ run reopened with ``resume=True`` replays the journal and skips every
 unit whose recorded key still matches, so only unfinished (or changed)
 work is re-executed.
 
-Layout: the first line is a header ``{"journal": 1}``; each following
+Layout: the first line is a header ``{"journal": 2}``; each following
 line is one entry.  The file is rewritten through a tmp-sibling +
 ``os.replace`` on every append, so readers never observe a torn entry.
 A truncated *final* line (possible if an older writer died mid-append)
 is tolerated on load; corruption anywhere else raises
 :class:`~repro.errors.CheckpointError`.
+
+Schema history: version 2 added the per-entry ``duration_s`` (final
+attempt wall time) and ``started_at`` / ``ended_at`` (Unix timestamps)
+telemetry fields.  Version-1 journals — identical minus those fields —
+are still read and resumed; new appends upgrade the header in place.
 """
 
 from __future__ import annotations
@@ -25,10 +30,13 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..errors import CheckpointError
 from .atomic import write_text_atomic
 
-__all__ = ["JOURNAL_SCHEMA", "unit_key", "RunJournal"]
+__all__ = ["JOURNAL_SCHEMA", "SUPPORTED_JOURNAL_SCHEMAS", "unit_key", "RunJournal"]
 
 #: Format version of the journal file.
-JOURNAL_SCHEMA = 1
+JOURNAL_SCHEMA = 2
+
+#: Versions this reader accepts (older versions lack optional fields only).
+SUPPORTED_JOURNAL_SCHEMAS = (1, 2)
 
 
 def unit_key(payload: dict) -> str:
@@ -76,10 +84,13 @@ class RunJournal:
             header = json.loads(lines[0])
         except json.JSONDecodeError:
             raise CheckpointError(f"{self.path}: corrupt journal header") from None
-        if not isinstance(header, dict) or header.get("journal") != JOURNAL_SCHEMA:
+        if (
+            not isinstance(header, dict)
+            or header.get("journal") not in SUPPORTED_JOURNAL_SCHEMAS
+        ):
             raise CheckpointError(
-                f"{self.path}: unsupported journal format {header!r}; "
-                f"this repro reads journal schema {JOURNAL_SCHEMA}"
+                f"{self.path}: unsupported journal format {header!r}; this "
+                f"repro reads journal schemas {SUPPORTED_JOURNAL_SCHEMAS}"
             )
         for number, line in enumerate(lines[1:], start=2):
             if not line.strip():
@@ -116,10 +127,19 @@ class RunJournal:
         *,
         attempts: int = 1,
         elapsed_s: float = 0.0,
+        duration_s: Optional[float] = None,
+        started_at: Optional[float] = None,
+        ended_at: Optional[float] = None,
         error: Optional[dict] = None,
         result: Optional[dict] = None,
     ) -> dict:
-        """Append one outcome entry and persist the journal atomically."""
+        """Append one outcome entry and persist the journal atomically.
+
+        ``duration_s`` / ``started_at`` / ``ended_at`` are the schema-2
+        telemetry fields (final-attempt wall time and attempt-loop Unix
+        timestamps); like ``elapsed_s`` they are *volatile* — equality
+        comparisons between equivalent runs must normalise them away.
+        """
         entry = {
             "unit": unit_id,
             "key": key,
@@ -127,6 +147,12 @@ class RunJournal:
             "attempts": attempts,
             "elapsed_s": round(elapsed_s, 6),
         }
+        if duration_s is not None:
+            entry["duration_s"] = round(duration_s, 6)
+        if started_at is not None:
+            entry["started_at"] = round(started_at, 6)
+        if ended_at is not None:
+            entry["ended_at"] = round(ended_at, 6)
         if error is not None:
             entry["error"] = error
         if result is not None:

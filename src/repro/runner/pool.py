@@ -53,7 +53,11 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from pathlib import Path
+
 from ..errors import RunnerError
+from ..obs.telemetry import DISABLED as _DISABLED_TELEMETRY
+from ..obs.telemetry import Telemetry
 from .engine import (
     RetryPolicy,
     RunResult,
@@ -108,10 +112,17 @@ class _WorkerTask:
     to_record: Optional[Callable[[Any], dict]] = field(default=None, repr=False)
     retry: RetryPolicy = RetryPolicy()
     timeout_s: Optional[float] = None
+    telemetry_on: bool = False
+    profile_dir: Optional[str] = None
 
 
 def _execute_task(task: _WorkerTask) -> dict:
     """Worker entry point: run the attempt loop, return a picklable reply.
+
+    With ``telemetry_on`` the worker records this unit's metrics and
+    spans into a fresh per-task bundle and ships the snapshot back in
+    the reply; the parent absorbs it (re-basing span ids) so the merged
+    telemetry is identical in content to a serial run's.
 
     ``BaseException`` (injected crashes, interrupts) propagates out and
     surfaces on the future — the parent treats it like a process kill.
@@ -122,17 +133,28 @@ def _execute_task(task: _WorkerTask) -> dict:
         run=task.run,
         to_record=task.to_record,
     )
-    outcome = execute_attempts(unit, retry=task.retry, timeout_s=task.timeout_s)
+    telemetry = Telemetry() if task.telemetry_on else None
+    outcome = execute_attempts(
+        unit,
+        retry=task.retry,
+        timeout_s=task.timeout_s,
+        telemetry=telemetry,
+        profile_dir=Path(task.profile_dir) if task.profile_dir else None,
+    )
     reply: Dict[str, Any] = {
         "status": outcome.status,
         "attempts": outcome.attempts,
         "elapsed_s": outcome.elapsed_s,
+        "duration_s": outcome.duration_s,
+        "started_at": outcome.started_at,
+        "ended_at": outcome.ended_at,
         "error": outcome.error,
         "result": None,
         "value": None,
         "has_value": False,
         "exception": None,
         "rss_bytes": peak_rss_bytes(),
+        "telemetry": telemetry.snapshot() if telemetry is not None else None,
     }
     if outcome.status == "ok":
         if task.to_record is not None:
@@ -205,6 +227,8 @@ class PoolRunner:
         submit_order: Optional[Sequence[int]] = None,
         mp_context: Any = None,
         watchdog: Optional[ResourceWatchdog] = None,
+        telemetry: Optional[Telemetry] = None,
+        profile_dir: Optional[Path] = None,
     ):
         if workers < 1:
             raise RunnerError(f"PoolRunner needs at least one worker, got {workers}")
@@ -218,6 +242,8 @@ class PoolRunner:
         self.submit_order = submit_order
         self.mp_context = mp_context
         self.watchdog = watchdog
+        self.telemetry = telemetry if telemetry is not None else _DISABLED_TELEMETRY
+        self.profile_dir = profile_dir
         #: Why the last run shed its workers, or None if it never did.
         self.degraded_reason: Optional[str] = None
 
@@ -235,12 +261,14 @@ class PoolRunner:
             skipped = resume_outcome(self.journal, unit)
             if skipped is not None:
                 outcomes[unit.unit_id] = skipped
+                self.telemetry.count("repro_units_total", status="skipped")
             else:
                 pending.append(unit)
         if pending:
             self._run_pool(pending, outcomes)
         if self.journal is not None:
             self.journal.rewrite_ordered(unit_ids)
+        self.telemetry.flush(unit_ids)
         ordered: List[UnitOutcome] = []
         for unit in units:
             outcome = outcomes.get(unit.unit_id)
@@ -265,6 +293,11 @@ class PoolRunner:
     ) -> None:
         pending = list(pending)
         stopping = self._drive_pool(pending, outcomes)
+        if self.degraded_reason is not None:
+            self.telemetry.count(
+                "repro_degradations_total",
+                reason="rss" if "RSS" in self.degraded_reason else "worker-death",
+            )
         if self.degraded_reason is None or stopping:
             return
         # Degradation ladder, final rung before --resume: the pool was
@@ -275,13 +308,18 @@ class PoolRunner:
             if unit.unit_id in outcomes:
                 continue
             outcome = execute_attempts(
-                unit, retry=self.retry, timeout_s=self.timeout_s
+                unit,
+                retry=self.retry,
+                timeout_s=self.timeout_s,
+                telemetry=self.telemetry,
+                profile_dir=self.profile_dir,
             )
             stored = None
             if outcome.status == "ok" and unit.to_record is not None:
                 stored = unit.to_record(outcome.value)
             outcomes[unit.unit_id] = outcome
             self._journal_outcome(unit, outcome, stored)
+            self.telemetry.unit_done()
             if outcome.status == "failed" and not self.keep_going:
                 break
 
@@ -312,6 +350,10 @@ class PoolRunner:
                         to_record=unit.to_record,
                         retry=self.retry,
                         timeout_s=self.timeout_s,
+                        telemetry_on=self.telemetry.enabled,
+                        profile_dir=(
+                            str(self.profile_dir) if self.profile_dir else None
+                        ),
                     ),
                 ): unit
                 for unit in self._submission(pending)
@@ -368,6 +410,12 @@ class PoolRunner:
                         reply = future.result()
                         outcome = self._outcome_from_reply(unit, reply)
                         stored = reply["result"]
+                        self.telemetry.absorb(reply.get("telemetry"))
+                        if reply.get("rss_bytes") is not None:
+                            self.telemetry.gauge_max(
+                                "repro_worker_peak_rss_bytes",
+                                float(reply["rss_bytes"]),
+                            )
                         if (
                             self.watchdog is not None
                             and self.degraded_reason is None
@@ -385,6 +433,7 @@ class PoolRunner:
                                 other.cancel()
                     outcomes[unit.unit_id] = outcome
                     self._journal_outcome(unit, outcome, stored)
+                    self.telemetry.unit_done()
                     if outcome.status == "failed" and not self.keep_going and not stopping:
                         stopping = True
                         for other in not_done:
@@ -406,6 +455,9 @@ class PoolRunner:
             value=value,
             attempts=reply["attempts"],
             elapsed_s=reply["elapsed_s"],
+            duration_s=reply.get("duration_s", 0.0),
+            started_at=reply.get("started_at", 0.0),
+            ended_at=reply.get("ended_at", 0.0),
             error=reply["error"],
             exception=reply["exception"],
         )
@@ -422,6 +474,9 @@ class PoolRunner:
                 "ok",
                 attempts=outcome.attempts,
                 elapsed_s=outcome.elapsed_s,
+                duration_s=outcome.duration_s,
+                started_at=outcome.started_at,
+                ended_at=outcome.ended_at,
                 result=stored,
             )
         else:
@@ -431,5 +486,8 @@ class PoolRunner:
                 "failed",
                 attempts=outcome.attempts,
                 elapsed_s=outcome.elapsed_s,
+                duration_s=outcome.duration_s,
+                started_at=outcome.started_at,
+                ended_at=outcome.ended_at,
                 error=outcome.error,
             )

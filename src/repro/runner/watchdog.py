@@ -31,9 +31,12 @@ import shutil
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from ..errors import ResourceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.telemetry import Telemetry
 
 try:
     import resource as _resource
@@ -86,10 +89,21 @@ class WatchdogPolicy:
 
 
 class ResourceWatchdog:
-    """Applies a :class:`WatchdogPolicy` to a run (see module docstring)."""
+    """Applies a :class:`WatchdogPolicy` to a run (see module docstring).
 
-    def __init__(self, policy: Optional[WatchdogPolicy] = None):
+    ``telemetry`` (a :class:`~repro.obs.telemetry.Telemetry` bundle, or
+    None) turns the watchdog's observations into gauges: free disk at
+    preflight (``repro_disk_free_bytes``) and every worker peak-RSS
+    reading it inspects (``repro_worker_peak_rss_bytes``, high-water).
+    """
+
+    def __init__(
+        self,
+        policy: Optional[WatchdogPolicy] = None,
+        telemetry: Optional["Telemetry"] = None,
+    ):
         self.policy = policy if policy is not None else WatchdogPolicy()
+        self.telemetry = telemetry
 
     def preflight_disk(
         self, path: Union[str, Path], need_bytes: Optional[int] = None
@@ -103,6 +117,8 @@ class ResourceWatchdog:
         while not target.exists() and target != target.parent:
             target = target.parent
         free = shutil.disk_usage(target).free
+        if self.telemetry is not None:
+            self.telemetry.gauge_set("repro_disk_free_bytes", float(free))
         need = need_bytes if need_bytes is not None else self.policy.min_free_bytes
         if free < need:
             raise ResourceError(
@@ -114,5 +130,9 @@ class ResourceWatchdog:
 
     def over_rss(self, rss_bytes: Optional[int]) -> bool:
         """True when a worker's reported peak RSS breaches the ceiling."""
+        if self.telemetry is not None and rss_bytes is not None:
+            self.telemetry.gauge_max(
+                "repro_worker_peak_rss_bytes", float(rss_bytes)
+            )
         limit = self.policy.max_worker_rss_bytes
         return limit is not None and rss_bytes is not None and rss_bytes > limit

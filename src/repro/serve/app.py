@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..errors import ReproError, RunnerError, ServeError
+from ..obs import Telemetry
 from ..runner import (
     ResourceWatchdog,
     RetryPolicy,
@@ -145,9 +146,14 @@ class ServeApp:
         self.n_workers = resolve_workers(workers)
         self.memo = MemoStore(self.store_dir / MEMO_DIR)
         self.flight = SingleFlight()
+        # Always-on in-memory telemetry: the service renders it live on
+        # /metrics and /v1/stats; nothing is flushed to disk, and the
+        # span ring bounds memory over a long-lived process.
+        self.telemetry = Telemetry(max_spans=512)
         self.breaker = CircuitBreaker(
             threshold=self.policy.breaker_threshold,
             cooldown_s=self.policy.breaker_cooldown_s,
+            on_transition=self._on_breaker_transition,
         )
         self.admission = AdmissionController(
             max_active=self.policy.max_active,
@@ -179,6 +185,96 @@ class ServeApp:
             "coalesced": 0,
             "timeouts": 0,
             "errors": 0,
+        }
+        self._started = self.telemetry.clock.monotonic()
+        self._in_flight = 0
+        self._request_seq = 0
+
+    # ------------------------------------------------------------------
+    # Telemetry: live projection + event counters.
+
+    def _on_breaker_transition(self, old_state: str, new_state: str) -> None:
+        self.telemetry.count(
+            "repro_serve_breaker_transitions_total",
+            **{"from": old_state, "to": new_state},
+        )
+
+    def uptime_s(self) -> float:
+        """Seconds since this app instance was constructed."""
+        return self.telemetry.clock.monotonic() - self._started
+
+    def memo_hit_rate(self) -> Optional[float]:
+        """Fraction of memo lookups served from the store (None: no lookups)."""
+        lookups = self.memo.hits + self.memo.misses
+        if not lookups:
+            return None
+        return self.memo.hits / lookups
+
+    _BREAKER_LEVELS = {
+        CircuitBreaker.CLOSED: 0,
+        CircuitBreaker.HALF_OPEN: 1,
+        CircuitBreaker.OPEN: 2,
+    }
+
+    def _sync_live_metrics(self) -> None:
+        """Project live object state into the registry before rendering.
+
+        Counters use ``set_to`` (projection, not increment) so repeat
+        scrapes never double-count; the sources of truth stay the live
+        objects (``stats``, memo, admission, breaker).  Blocking bits
+        (``len(self.memo)`` walks the store) mean async callers must
+        run this through the I/O executor.
+        """
+        registry = self.telemetry.registry
+        for name, value in self.stats.items():
+            registry.counter(f"repro_serve_{name}_total").set_to(float(value))
+        registry.counter("repro_serve_memo_hits_total").set_to(float(self.memo.hits))
+        registry.counter("repro_serve_memo_misses_total").set_to(float(self.memo.misses))
+        registry.counter("repro_serve_memo_quarantined_total").set_to(
+            float(self.memo.quarantined)
+        )
+        registry.counter("repro_serve_shed_total").set_to(float(self.admission.shed))
+        registry.counter("repro_serve_pool_deaths_total").set_to(float(self.pool_deaths))
+        registry.gauge("repro_serve_admission_active").set(float(self.admission.active))
+        registry.gauge("repro_serve_admission_waiting").set(float(self.admission.waiting))
+        registry.gauge("repro_serve_in_flight").set(float(self._in_flight))
+        registry.gauge("repro_serve_breaker_state").set(
+            float(self._BREAKER_LEVELS[self.breaker.state])
+        )
+        registry.gauge("repro_serve_degraded").set(
+            0.0 if self.degraded_reason is None else 1.0
+        )
+        registry.gauge("repro_serve_uptime_seconds").set(round(self.uptime_s(), 3))
+        registry.gauge("repro_serve_memo_entries").set(float(len(self.memo)))
+
+    def _metrics_text(self) -> str:
+        self._sync_live_metrics()
+        return self.telemetry.registry.render_prometheus()
+
+    def _stats_document(self) -> dict:
+        self._sync_live_metrics()
+        hit_rate = self.memo_hit_rate()
+        return {
+            "schema": 1,
+            "uptime_s": round(self.uptime_s(), 3),
+            "in_flight": self._in_flight,
+            "requests": dict(self.stats),
+            "memo": {
+                "hits": self.memo.hits,
+                "misses": self.memo.misses,
+                "quarantined": self.memo.quarantined,
+                "entries": len(self.memo),
+                "hit_rate": None if hit_rate is None else round(hit_rate, 4),
+            },
+            "admission": {
+                "active": self.admission.active,
+                "waiting": self.admission.waiting,
+                "shed": self.admission.shed,
+            },
+            "breaker": self.breaker.state,
+            "degraded_reason": self.degraded_reason,
+            "spans_recorded": self.telemetry.tracer.recorded,
+            "metrics": self.telemetry.registry.snapshot(),
         }
 
     # ------------------------------------------------------------------
@@ -444,6 +540,7 @@ class ServeApp:
 
     def health(self) -> dict:
         """The /healthz document (also used directly by tests)."""
+        hit_rate = self.memo_hit_rate()
         return {
             "schema": 1,
             "status": "degraded" if self.degraded_reason else "ok",
@@ -451,11 +548,14 @@ class ServeApp:
             "breaker": self.breaker.state,
             "workers": self.n_workers or 0,
             "pool_deaths": self.pool_deaths,
+            "uptime_s": round(self.uptime_s(), 3),
+            "in_flight": self._in_flight,
             "memo": {
                 "hits": self.memo.hits,
                 "misses": self.memo.misses,
                 "quarantined": self.memo.quarantined,
                 "entries": len(self.memo),
+                "hit_rate": None if hit_rate is None else round(hit_rate, 4),
             },
             "admission": {
                 "active": self.admission.active,
@@ -466,7 +566,23 @@ class ServeApp:
         }
 
     async def _handle_health(self, payload: Any) -> Tuple[int, bytes, Dict[str, str]]:
-        return 200, canonical_json(self.health()).encode("utf-8"), {}
+        loop = asyncio.get_running_loop()
+        document = await loop.run_in_executor(self._io_executor, self.health)
+        return 200, canonical_json(document).encode("utf-8"), {}
+
+    async def _handle_metrics(self, payload: Any) -> Tuple[int, bytes, Dict[str, str]]:
+        """GET /metrics — Prometheus text exposition of the live registry."""
+        loop = asyncio.get_running_loop()
+        body = await loop.run_in_executor(self._io_executor, self._metrics_text)
+        return 200, body.encode("utf-8"), {
+            "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+        }
+
+    async def _handle_stats(self, payload: Any) -> Tuple[int, bytes, Dict[str, str]]:
+        """GET /v1/stats — the same registry as JSON, plus derived rates."""
+        loop = asyncio.get_running_loop()
+        document = await loop.run_in_executor(self._io_executor, self._stats_document)
+        return 200, canonical_json(document).encode("utf-8"), {}
 
     # ------------------------------------------------------------------
     # HTTP plumbing (stdlib asyncio streams; one request per connection).
@@ -517,6 +633,8 @@ class ServeApp:
         path = target.partition("?")[0]
         routes = {
             ("GET", "/healthz"): self._handle_health,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/v1/stats"): self._handle_stats,
             ("POST", "/v1/evaluate"): self._handle_evaluate,
             ("POST", "/v1/tpi"): self._handle_tpi,
             ("POST", "/v1/sweep"): self._handle_sweep,
@@ -551,13 +669,15 @@ class ServeApp:
 
     @staticmethod
     def _response_bytes(status: int, body: bytes, headers: Dict[str, str]) -> bytes:
+        extra = dict(headers)
+        content_type = extra.pop("Content-Type", "application/json")
         lines = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]
-        lines += [f"{name}: {value}" for name, value in headers.items()]
+        lines += [f"{name}: {value}" for name, value in extra.items()]
         return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
 
     async def handle_client(
@@ -572,34 +692,55 @@ class ServeApp:
         escapes as a traceback and nothing leaves the client hanging.
         """
         self.stats["requests"] += 1
+        self._request_seq += 1
+        request_id = f"req-{self._request_seq:08d}"
+        self._in_flight += 1
         try:
-            try:
-                method, target, body = await asyncio.wait_for(
-                    self._read_request(reader), timeout=self.policy.deadline_s
+            # A root span (no nesting stack): request handlers await
+            # mid-span, so concurrent requests interleave and strictly
+            # nested parenting would lie about causality.
+            with self.telemetry.span(
+                "request", root=True, request=request_id
+            ) as req_span:
+                try:
+                    method, target, body = await asyncio.wait_for(
+                        self._read_request(reader), timeout=self.policy.deadline_s
+                    )
+                except (ConnectionError, asyncio.IncompleteReadError, asyncio.TimeoutError):
+                    req_span.set(outcome="unreadable")
+                    return
+                try:
+                    status, payload, headers = await self._dispatch(method, target, body)
+                except ServeError as error:
+                    self.stats["errors"] += 1
+                    status = error.status
+                    payload, headers = self._error_body(error, status)
+                except ReproError as error:
+                    self.stats["errors"] += 1
+                    status = 400
+                    payload, headers = self._error_body(error, status)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as error:  # last wall: never a traceback
+                    self.stats["errors"] += 1
+                    status = 500
+                    payload, headers = self._error_body(error, status)
+                req_span.set(
+                    method=method, path=target.partition("?")[0], status=status
                 )
-            except (ConnectionError, asyncio.IncompleteReadError, asyncio.TimeoutError):
-                return
-            try:
-                status, payload, headers = await self._dispatch(method, target, body)
-            except ServeError as error:
-                self.stats["errors"] += 1
-                status = error.status
-                payload, headers = self._error_body(error, status)
-            except ReproError as error:
-                self.stats["errors"] += 1
-                status = 400
-                payload, headers = self._error_body(error, status)
-            except asyncio.CancelledError:
-                raise
-            except Exception as error:  # last wall: never a traceback
-                self.stats["errors"] += 1
-                status = 500
-                payload, headers = self._error_body(error, status)
-            writer.write(self._response_bytes(status, payload, headers))
-            await writer.drain()
+                headers = dict(headers)
+                headers["X-Repro-Request"] = request_id
+                writer.write(self._response_bytes(status, payload, headers))
+                await writer.drain()
+            # The span closed on scope exit; its measured duration is
+            # the whole request (read, dispatch, write).
+            self.telemetry.observe(
+                "repro_serve_request_seconds", req_span.duration_s
+            )
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
+            self._in_flight -= 1
             try:
                 writer.close()
                 await writer.wait_closed()

@@ -17,7 +17,7 @@ which REP002 permits in execution-layer code.
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import Callable, Optional
 
 from ..errors import RunnerError
 from .errors import BreakerOpenError
@@ -37,6 +37,7 @@ class CircuitBreaker:
         threshold: int = 4,
         cooldown_s: float = 2.0,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
     ):
         if threshold < 1:
             raise RunnerError("breaker threshold must be >= 1")
@@ -49,6 +50,17 @@ class CircuitBreaker:
         self._state = self.CLOSED
         self._opened_at = 0.0
         self._probing = False
+        #: Observer called with ``(old_state, new_state)`` on every
+        #: explicit state change (the telemetry hook).  The lazy
+        #: cooldown expiry reported by :attr:`state` is not a stored
+        #: transition and does not fire it; the ``check()`` that acts
+        #: on the expiry does.
+        self.on_transition = on_transition
+
+    def _set_state(self, new_state: str) -> None:
+        old_state, self._state = self._state, new_state
+        if old_state != new_state and self.on_transition is not None:
+            self.on_transition(old_state, new_state)
 
     @property
     def state(self) -> str:
@@ -75,7 +87,7 @@ class CircuitBreaker:
                     f"backend failures; retry in {remaining:.1f}s",
                     retry_after_s=remaining,
                 )
-            self._state = self.HALF_OPEN
+            self._set_state(self.HALF_OPEN)
             self._probing = False
         if self._state == self.HALF_OPEN:
             if self._probing:
@@ -89,7 +101,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         """A backend attempt succeeded: close and reset."""
         self._failures = 0
-        self._state = self.CLOSED
+        self._set_state(self.CLOSED)
         self._probing = False
 
     def record_failure(self) -> None:
@@ -97,7 +109,7 @@ class CircuitBreaker:
         self._failures += 1
         tripped = self._failures >= self.threshold
         if self._state == self.HALF_OPEN or (self._state == self.CLOSED and tripped):
-            self._state = self.OPEN
+            self._set_state(self.OPEN)
             self._opened_at = self._clock()
         elif self._state == self.OPEN and self._remaining() <= 0:
             # The failure *was* the half-open probe (state property

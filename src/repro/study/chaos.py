@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from ..errors import ReproError
+from ..obs.telemetry import DISABLED as _DISABLED_TELEMETRY, Telemetry
 from ..runner import faults, tree_fingerprint
 from ..runner.integrity import RUN_METADATA_NAME, SIDECAR_SUFFIX, is_volatile
 from .registry import experiment_ids
@@ -194,6 +195,30 @@ def _soak_round(
         faults.clear()
 
 
+def _fault_evidence(soak: Path) -> int:
+    """Journal entries showing a fault actually fired (retry or failure).
+
+    The soak journal is the ground truth for "the injected fault was
+    observed": a unit that failed, or needed more than one attempt,
+    hit *something*.  Counting entries (not units) keeps repeat rounds
+    visible — each appended record is one more observation.
+    """
+    journal_path = soak / "journal.jsonl"
+    if not journal_path.exists():
+        return 0
+    evidence = 0
+    for line in journal_path.read_text().splitlines():
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail line mid-soak: not evidence either way
+        if not isinstance(entry, dict) or "unit" not in entry:
+            continue
+        if entry.get("status") == "failed" or entry.get("attempts", 1) > 1:
+            evidence += 1
+    return evidence
+
+
 def _diff_fingerprints(
     clean: Dict[str, str], soak: Dict[str, str]
 ) -> List[str]:
@@ -213,10 +238,19 @@ def run_chaos(
     ids: Optional[List[str]] = None,
     scale: Optional[float] = 0.05,
     workers: "Union[None, int, str]" = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> ChaosResult:
     """Run one seeded soak (see module docstring); never raises for
     injected damage — the returned :class:`ChaosResult` says whether
     the tree converged.
+
+    ``telemetry`` (optional) receives per-round counters proving the
+    injected faults were *observed*, not merely scheduled:
+    ``repro_chaos_faults_scheduled_total{kind}`` counts what each
+    round's schedule drew, ``repro_chaos_faults_observed_total`` counts
+    the journal entries (failures or retries) those faults produced,
+    and ``repro_chaos_quarantined_total`` / ``repro_chaos_reruns_total``
+    count what the repair stage did about the damage.
     """
     out = Path(out_dir)
     clean_dir = out / "clean"
@@ -228,13 +262,27 @@ def run_chaos(
     # Reference tree: same report, no faults.
     write_report(clean_dir, ids=ids, scale=scale, workers=workers)
 
+    tel = telemetry if telemetry is not None else _DISABLED_TELEMETRY
     with_pool = workers not in (None, 0, "", "serial")
-    for _ in range(rounds):
+    for round_index in range(rounds):
         schedule = _random_schedule(rng, unit_ids, with_pool)
         result.schedules.append(schedule)
-        _soak_round(
-            soak_dir, schedule, ids=ids, scale=scale, workers=workers
-        )
+        for part in filter(None, schedule.split(",")):
+            tel.count(
+                "repro_chaos_faults_scheduled_total",
+                kind=part.split("=", 1)[0],
+            )
+        evidence_before = _fault_evidence(soak_dir)
+        with tel.span(
+            "chaos_round", round=round_index, schedule=schedule
+        ) as round_span:
+            _soak_round(
+                soak_dir, schedule, ids=ids, scale=scale, workers=workers
+            )
+            observed = max(0, _fault_evidence(soak_dir) - evidence_before)
+            round_span.set(observed=observed)
+        if observed:
+            tel.count("repro_chaos_faults_observed_total", float(observed))
 
     # Fault-free resume pass: heal failed/missing units the rounds left.
     _soak_round(soak_dir, "", ids=ids, scale=scale, workers=workers)
@@ -247,11 +295,15 @@ def run_chaos(
         _rot(target, rng)
         result.bitrot.append(str(target.relative_to(soak_dir)))
 
-    outcome = verify_and_repair(soak_dir, workers=workers)
+    outcome = verify_and_repair(soak_dir, workers=workers, telemetry=telemetry)
     result.quarantined = len(
         [f for f in outcome.report.findings if f.action.startswith("quarantined")]
     )
     result.reran = [str(path) for path in outcome.reran]
+    if result.quarantined:
+        tel.count("repro_chaos_quarantined_total", float(result.quarantined))
+    if result.reran:
+        tel.count("repro_chaos_reruns_total", float(len(result.reran)))
 
     mismatches = _diff_fingerprints(
         tree_fingerprint(clean_dir), tree_fingerprint(soak_dir)

@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import TYPE_CHECKING, List, Optional, Union
 
 from ..core.config import SystemConfig
 from ..core.explorer import run_sweep_dir
@@ -35,6 +35,9 @@ from ..runner.integrity import (
     verify_tree,
 )
 from .resultstore import write_report
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.telemetry import Telemetry
 
 __all__ = ["RepairOutcome", "rerun_directory", "verify_and_repair"]
 
@@ -180,6 +183,7 @@ def verify_and_repair(
     *,
     rerun: bool = True,
     workers: "Union[None, int, str]" = None,
+    telemetry: Optional["Telemetry"] = None,
 ) -> RepairOutcome:
     """Verify a results tree, quarantine damage, and regenerate it.
 
@@ -188,9 +192,10 @@ def verify_and_repair(
     ``quarantine/``; (2) every directory that lost an artefact is
     replayed through :func:`rerun_directory` (skipped, and reported,
     when it carries no usable recipe); (3) a final :func:`verify_tree`
-    proves the regenerated tree is intact.
+    proves the regenerated tree is intact.  ``telemetry`` (optional)
+    receives the integrity counters of both verification passes.
     """
-    report = verify_tree(root, repair=True)
+    report = verify_tree(root, repair=True, telemetry=telemetry)
     outcome = RepairOutcome(report=report)
     if not rerun:
         return outcome
@@ -206,5 +211,5 @@ def verify_and_repair(
     if outcome.reran or outcome.skipped or not report.clean:
         # Anything repaired — even purely in place — is proved intact
         # by a fresh pass, never assumed.
-        outcome.final = verify_tree(root, repair=False)
+        outcome.final = verify_tree(root, repair=False, telemetry=telemetry)
     return outcome

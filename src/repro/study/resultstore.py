@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
 from ..errors import ExperimentError, ReproError
+from ..obs.telemetry import Telemetry
 from ..runner import (
     RUN_METADATA_NAME,
     PoolRunner,
@@ -225,6 +226,7 @@ def write_report(
     retries: int = 0,
     workers: "Union[None, int, str]" = None,
     watchdog: Optional[ResourceWatchdog] = None,
+    telemetry: "Union[bool, Telemetry]" = False,
 ) -> List[str]:
     """Run experiments and write ``<id>.json`` / ``<id>.txt`` + an index.
 
@@ -258,6 +260,11 @@ def write_report(
         ``"auto"`` runs them in that many worker processes with the
         same journal, isolation, retry, and timeout semantics — and
         byte-identical artefacts (``elapsed_s`` in the journal aside).
+    telemetry:
+        True (or a pre-built :class:`~repro.obs.Telemetry` bundle)
+        records per-experiment metrics and spans into
+        ``METRICS.jsonl`` / ``SPANS.jsonl`` in ``out_dir`` — volatile
+        artefacts that never change a result byte.
 
     Returns
     -------
@@ -271,7 +278,16 @@ def write_report(
     # Resolve everything up front: an unknown id fails fast, before any
     # artefact or journal is touched.
     experiments = [get_experiment(experiment_id) for experiment_id in chosen]
+    bundle: Optional[Telemetry]
+    if isinstance(telemetry, Telemetry):
+        bundle = telemetry.bind(out)
+    elif telemetry:
+        bundle = Telemetry().bind(out)
+    else:
+        bundle = None
     guard = watchdog if watchdog is not None else ResourceWatchdog()
+    if guard.telemetry is None:
+        guard.telemetry = bundle
     guard.preflight_disk(out)
     metadata = {"run": 1, "kind": "report", "ids": chosen, "scale": scale}
     write_text_atomic(
@@ -287,6 +303,7 @@ def write_report(
             retry=RetryPolicy(max_attempts=retries + 1),
             timeout_s=timeout_s,
             keep_going=keep_going,
+            telemetry=bundle,
         )
     else:
         runner = PoolRunner(
@@ -296,6 +313,7 @@ def write_report(
             keep_going=keep_going,
             workers=n_workers,
             watchdog=guard,
+            telemetry=bundle,
         )
     run = runner.run([_report_unit(out, experiment, scale) for experiment in experiments])
 

@@ -1,0 +1,27 @@
+"""REP012 negative fixture: injected clock, context-managed spans."""
+
+from contextlib import ExitStack
+
+
+class Recorder:
+    def __init__(self, tracer, clock):
+        self.tracer = tracer
+        self.clock = clock
+
+    def stamp(self):
+        return self.clock.wall()
+
+    def measure(self, fn):
+        started = self.clock.monotonic()
+        value = fn()
+        return value, self.clock.monotonic() - started
+
+    def scoped(self, fn):
+        with self.tracer.span("scoped") as span:
+            span.set(kind="good")
+            return fn()
+
+    def stacked(self, fn):
+        with ExitStack() as stack:
+            stack.enter_context(self.tracer.span("stacked"))
+            return fn()

@@ -1,0 +1,7 @@
+"""REP012 suppressed fixture: an explained direct clock read."""
+
+import time
+
+
+def startup_banner():
+    return time.time()  # repro: lint-ok[REP012] one-shot process start stamp printed to stderr, never recorded as telemetry

@@ -29,6 +29,7 @@ RULE_FIXTURES = {
     "REP004": FIXTURES / "src" / "repro" / "core",
     "REP005": FIXTURES / "benchmarks",
     "REP006": FIXTURES / "src" / "repro" / "traces",
+    "REP012": FIXTURES / "src" / "repro" / "obs",
 }
 
 
@@ -93,6 +94,7 @@ class TestRegistry:
         ("REP004", 5),
         ("REP005", 6),
         ("REP006", 4),
+        ("REP012", 5),
     ],
 )
 class TestRuleFixtures:

@@ -334,3 +334,63 @@ class TestVerifyCommand:
 
         with pytest.raises(IntegrityError):
             main(["--debug", "verify", str(tmp_path / "nope")])
+
+
+class TestMetricsSpansCommands:
+    """Satellite: every journalled run directory is inspectable."""
+
+    @pytest.fixture(scope="class")
+    def telemetry_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("runs") / "sweep"
+        argv = [
+            "sweep", "--workload", "espresso", "--scale", "0.01",
+            "--out", str(out), "--telemetry",
+        ]
+        assert main(argv) == 0
+        return out
+
+    def test_metrics_renders_a_snapshot(self, capsys, telemetry_dir):
+        assert main(["metrics", str(telemetry_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "series (metrics)" in out
+        assert "repro_units_total" in out
+        assert "repro_refs_total" in out
+
+    def test_metrics_json_format(self, capsys, telemetry_dir):
+        import json
+
+        assert main(["metrics", str(telemetry_dir), "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["source"] == "metrics"
+        names = {sample["name"] for sample in document["metrics"]}
+        assert "repro_unit_duration_seconds" in names
+
+    def test_spans_renders_the_tree(self, capsys, telemetry_dir):
+        assert main(["spans", str(telemetry_dir), "--limit", "6"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# ")
+        assert "unit " in out and "simulate" in out
+        assert "more spans" in out
+
+    def test_metrics_synthesises_from_a_plain_journal(self, capsys, tmp_path):
+        out = tmp_path / "plain"
+        argv = [
+            "sweep", "--workload", "espresso", "--scale", "0.01",
+            "--out", str(out),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        assert "series (journal)" in rendered
+        assert "repro_units_total" in rendered
+
+    def test_spans_without_telemetry_exits_2(self, capsys, tmp_path):
+        assert main(["spans", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--telemetry" in err
+
+    def test_metrics_on_a_missing_directory_exits_2(self, capsys, tmp_path):
+        assert main(["metrics", str(tmp_path / "nope")]) == 2
+        assert "not a run directory" in capsys.readouterr().err

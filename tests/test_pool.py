@@ -59,13 +59,17 @@ def small_design_space():
     )
 
 
+VOLATILE_ENTRY_FIELDS = ("elapsed_s", "duration_s", "started_at", "ended_at")
+
+
 def normalized_journal(path):
-    """Journal text with the volatile elapsed_s fields zeroed."""
+    """Journal text with the volatile wall-clock fields zeroed."""
     lines = Path(path).read_text().splitlines()
     out = [lines[0]]
     for line in lines[1:]:
         entry = json.loads(line)
-        entry.pop("elapsed_s", None)
+        for field in VOLATILE_ENTRY_FIELDS:
+            entry.pop(field, None)
         if "error" in entry:
             entry["error"].pop("elapsed_s", None)
         out.append(json.dumps(entry, sort_keys=True))

@@ -135,7 +135,7 @@ class TestWriteReport:
         out = tmp_path / "out"
         write_report(out, ids=["fig21"], scale=0.02)
         first_line = (out / "journal.jsonl").read_text().splitlines()[0]
-        assert json.loads(first_line)["journal"] == 1
+        assert json.loads(first_line)["journal"] == 2
 
     def test_report_leaves_no_tmp_files(self, tmp_path):
         out = tmp_path / "out"

@@ -503,3 +503,99 @@ class TestServeChaosSoak:
             workers=None, scale=0.02,
         )
         assert a.schedules == b.schedules
+
+
+class TestObservabilityEndpoints:
+    """Tentpole: /metrics and /v1/stats counters provably move under load."""
+
+    def test_memo_hit_and_miss_counters_move_over_http(self, tmp_path):
+        with BackgroundServer(tmp_path / "store") as server:
+            s0, h0, b0 = server.request("GET", "/metrics")
+            s1, h1, _ = server.request("POST", "/v1/evaluate", PAYLOAD)
+            s2, h2, _ = server.request("POST", "/v1/evaluate", PAYLOAD)
+            text = server.request("GET", "/metrics")[2].decode()
+            stats = json.loads(server.request("GET", "/v1/stats")[2])
+            health = json.loads(server.request("GET", "/healthz")[2])
+        assert (s0, s1, s2) == (200, 200, 200)
+        assert h0["content-type"].startswith("text/plain")
+        assert "repro_serve_memo_hits_total 0" in b0.decode()
+        # One cold compute, one memo hit — and the scrape says so.
+        assert "repro_serve_memo_hits_total 1" in text
+        assert "repro_serve_cold_total 1" in text
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_request_seconds_count" in text
+        assert stats["requests"]["cold"] == 1 and stats["requests"]["memo"] == 1
+        # A cold request probes the memo twice (pre-admission and in
+        # the resolution path), so one hit in three lookups.
+        assert stats["memo"]["hit_rate"] == 0.3333
+        assert stats["uptime_s"] > 0
+        assert stats["breaker"] == "closed"
+        assert stats["spans_recorded"] >= 3  # one span per request so far
+        # Satellite: /healthz grew the same live signals.
+        assert health["uptime_s"] > 0
+        assert health["in_flight"] >= 1  # the health request itself
+        assert health["memo"]["hit_rate"] == 0.3333
+
+    def test_every_request_is_tagged_with_a_fresh_id(self, tmp_path):
+        with BackgroundServer(tmp_path / "store") as server:
+            _, h1, _ = server.request("GET", "/healthz")
+            _, h2, _ = server.request("GET", "/healthz")
+        assert h1["x-repro-request"].startswith("req-")
+        assert h1["x-repro-request"] != h2["x-repro-request"]
+
+    def test_shed_counter_moves_under_overload(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "slowworker=*:0.5")
+        policy = ServePolicy(max_active=1, max_waiting=0, retries=0)
+        with BackgroundServer(tmp_path / "store", policy=policy) as server:
+            results = []
+
+            def fire(l2_kb):
+                results.append(
+                    server.request(
+                        "POST", "/v1/evaluate", dict(PAYLOAD, l2_kb=l2_kb)
+                    )
+                )
+
+            threads = [
+                threading.Thread(target=fire, args=(l2,)) for l2 in (16, 32, 64)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            text = server.request("GET", "/metrics")[2].decode()
+            stats = json.loads(server.request("GET", "/v1/stats")[2])
+        statuses = sorted(status for status, _, _ in results)
+        assert statuses[0] == 200 and statuses[-1] == 503
+        shed = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_serve_shed_total")
+        ]
+        assert shed and float(shed[0].split()[-1]) >= 1
+        assert stats["admission"]["shed"] >= 1
+
+    def test_breaker_transitions_are_counted(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "pooldeath=*:1")
+        policy = ServePolicy(
+            retries=0, breaker_threshold=1, breaker_cooldown_s=60.0
+        )
+        with BackgroundServer(
+            tmp_path / "store", workers=2, policy=policy
+        ) as server:
+            s1, _, b1 = server.request("POST", "/v1/evaluate", PAYLOAD)
+            s2, _, b2 = server.request(
+                "POST", "/v1/evaluate", dict(PAYLOAD, l2_kb=32)
+            )
+            text = server.request("GET", "/metrics")[2].decode()
+            stats = json.loads(server.request("GET", "/v1/stats")[2])
+        assert s1 == 503
+        assert json.loads(b1)["error"]["type"] == "UpstreamError"
+        assert s2 == 503  # breaker open: fail fast, no compute attempted
+        assert json.loads(b2)["error"]["type"] == "BreakerOpenError"
+        assert stats["breaker"] == "open"
+        assert (
+            'repro_serve_breaker_transitions_total{from="closed",to="open"} 1'
+            in text
+        )
+        assert "repro_serve_breaker_state 2" in text
