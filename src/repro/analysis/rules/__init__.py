@@ -9,6 +9,7 @@ from . import (
     geometry,
     manifest,
     picklable,
+    process_control,
     telemetry,
 )
 
@@ -19,5 +20,6 @@ __all__ = [
     "geometry",
     "manifest",
     "picklable",
+    "process_control",
     "telemetry",
 ]

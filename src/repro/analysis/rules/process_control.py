@@ -1,0 +1,70 @@
+"""REP013: process-control discipline — one place owns signals and exits.
+
+The lifecycle layer (PR 10) centralises every process-global shutdown
+mechanism — signal handlers, interval timers, hard exits, interpreter
+exit hooks — in :mod:`repro.runner.lifecycle` (and the CLI entry
+point, which installs the supervisor).  That centralisation *is* the
+guarantee: a second ``signal.signal`` call anywhere else silently
+replaces the supervisor's handler, and the two-phase drain (first
+signal drains, second aborts) stops working with no error anywhere.
+Likewise ``os._exit`` skips the drain's journal/manifest flush, and an
+``atexit`` hook is an uncoordinated shadow shutdown path.
+
+So in package code, ``signal.signal`` / ``signal.setitimer`` /
+``os._exit`` / ``atexit.register`` are reserved for the sanctioned
+modules.  Anything else must go through the lifecycle API — take a
+:class:`~repro.runner.lifecycle.CancelToken`, use
+:func:`~repro.runner.lifecycle.unit_timeout`, or raise.  (The
+asyncio route, ``loop.add_signal_handler``, composes with the loop
+and is not matched.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..finding import FileContext
+from ..registry import Violation, checker
+
+#: Process-global shutdown mechanisms reserved for the lifecycle layer.
+_PROCESS_CONTROL = frozenset(
+    {
+        "signal.signal",
+        "signal.setitimer",
+        "os._exit",
+        "atexit.register",
+    }
+)
+
+#: Modules allowed to own process-global shutdown state: the lifecycle
+#: supervisor itself, and the CLI entry point that installs it.
+_SANCTIONED_MODULES = frozenset({"runner/lifecycle.py", "cli.py"})
+
+
+@checker(
+    "REP013",
+    "process-control-discipline",
+    "signal.signal / setitimer / os._exit / atexit.register outside the "
+    "lifecycle layer silently replaces the supervisor's handlers or "
+    "bypasses the graceful drain; route shutdown through "
+    "repro.runner.lifecycle instead.",
+)
+def check_process_control(ctx: FileContext) -> Iterator[Violation]:
+    if ctx.kind != "package":
+        return
+    if ctx.package_relpath in _SANCTIONED_MODULES:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = ctx.canonical_call_name(node.func)
+        if target in _PROCESS_CONTROL:
+            yield (
+                node.lineno,
+                node.col_offset + 1,
+                f"{target}() takes over process shutdown outside the "
+                "lifecycle layer; only repro/runner/lifecycle.py (and the "
+                "CLI entry point) may install handlers or hard-exit — use "
+                "CancelToken / unit_timeout / Supervisor instead",
+            )

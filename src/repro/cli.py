@@ -70,6 +70,13 @@ cProfile ``profiles/<unit>.prof`` per design point.
 Library failures (:class:`~repro.errors.ReproError`) print a one-line
 ``error: …`` to stderr and exit with code 2; pass ``--debug`` for the
 full traceback.
+
+``report``, ``sweep``, and ``serve`` shut down in two phases
+(:mod:`repro.runner.lifecycle`): the first SIGTERM/SIGINT drains —
+in-flight units finish and are journalled, the process exits 75 with a
+``--resume`` hint — and a second signal (or an expired drain deadline)
+aborts hard with exit 70.  Either way, everything journalled before
+the stop is picked up by ``--resume`` without re-execution.
 """
 
 from __future__ import annotations
@@ -86,10 +93,16 @@ from .cache.hierarchy import Policy
 from .core.config import SystemConfig
 from .core.envelope import best_envelope
 from .core.evaluate import evaluate
-from .core.explorer import default_sweep_dir, design_space, run_sweep_dir, sweep
-from .errors import IntegrityError, LintError, ReproError
+from .core.explorer import (
+    SWEEP_JOURNAL_NAME,
+    default_sweep_dir,
+    design_space,
+    run_sweep_dir,
+    sweep,
+)
+from .errors import AbortError, IntegrityError, LintError, ReproError
 from .obs import load_run_metrics, load_run_spans, render_metrics, render_spans
-from .runner import verify_tree
+from .runner import EXIT_ABORTED, Supervisor, verify_tree
 from .serve import ServePolicy, run_serve
 from .study import experiment_ids, get_experiment
 from .study.chaos import run_chaos
@@ -97,7 +110,7 @@ from .study.serve_chaos import run_serve_chaos
 from .study.plot import plot_experiment
 from .study.repair import verify_and_repair
 from .study.report import render_table
-from .study.resultstore import FAILURES_NAME, write_report
+from .study.resultstore import FAILURES_NAME, JOURNAL_NAME, write_report
 from .traces.stats import compute_stats
 from .traces.store import get_trace
 from .traces.workloads import WORKLOADS
@@ -209,20 +222,39 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _drain_notice(supervisor: Supervisor, journal: Path) -> int:
+    """Report a graceful drain (resume hint included) and pick the exit code.
+
+    Everything journalled before the signal is kept; the distinct exit
+    code (75) tells wrappers the run stopped early *by request* — rerun
+    with ``--resume`` to finish, nothing completed is re-executed.
+    """
+    print(
+        f"drained: {supervisor.token.reason}; completed units are "
+        f"journalled in {journal} — re-run with --resume to finish",
+        file=sys.stderr,
+    )
+    return supervisor.exit_code()
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     ids = args.ids.split(",") if args.ids else None
-    written = write_report(
-        args.out,
-        ids=ids,
-        scale=args.scale,
-        resume=args.resume,
-        keep_going=args.keep_going,
-        timeout_s=args.timeout,
-        retries=args.retries,
-        workers=args.workers,
-        telemetry=args.telemetry,
-    )
+    with Supervisor() as supervisor:
+        written = write_report(
+            args.out,
+            ids=ids,
+            scale=args.scale,
+            resume=args.resume,
+            keep_going=args.keep_going,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            workers=args.workers,
+            telemetry=args.telemetry,
+            cancel=supervisor.token,
+        )
     print(f"wrote {len(written)} experiments to {args.out}")
+    if supervisor.triggered:
+        return _drain_notice(supervisor, Path(args.out) / JOURNAL_NAME)
     manifest = Path(args.out) / FAILURES_NAME
     if manifest.exists():
         failures = json.loads(manifest.read_text())["failures"]
@@ -242,23 +274,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     out = Path(args.out) if args.out else default_sweep_dir(
         args.workload, template, args.scale
     )
-    run, points = run_sweep_dir(
-        out,
-        args.workload,
-        template,
-        scale=args.scale,
-        keep_going=args.keep_going,
-        timeout_s=args.timeout,
-        retries=args.retries,
-        resume=args.resume,
-        workers=args.workers,
-        telemetry=args.telemetry,
-        profile=args.profile,
-    )
+    with Supervisor() as supervisor:
+        run, points = run_sweep_dir(
+            out,
+            args.workload,
+            template,
+            scale=args.scale,
+            keep_going=args.keep_going,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            resume=args.resume,
+            workers=args.workers,
+            telemetry=args.telemetry,
+            profile=args.profile,
+            cancel=supervisor.token,
+        )
     if not args.out:
         print(f"sweep directory: {out}")
     rows = [(p.label, p.area_rbe, p.tpi_ns, p.levels) for p in points]
     print(render_table(("config", "area_rbe", "tpi_ns", "levels"), rows))
+    if supervisor.triggered:
+        return _drain_notice(supervisor, out / SWEEP_JOURNAL_NAME)
     if run.failed:
         if not args.keep_going:
             run.raise_first_failure()
@@ -711,6 +747,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # Output piped into e.g. `head`; exiting quietly is correct.
         return 0
+    except AbortError as error:
+        # Hard abort (second signal / drain deadline): distinct exit
+        # code so wrappers can tell "stopped by request" from "failed";
+        # everything journalled before the abort is still resumable.
+        if args.debug:
+            raise
+        print(f"aborted: {error}", file=sys.stderr)
+        return EXIT_ABORTED
     except ReproError as error:
         if args.debug:
             raise

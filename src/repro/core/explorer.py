@@ -22,6 +22,7 @@ from ..obs.profile import PROFILE_DIR_NAME
 from ..obs.telemetry import Telemetry
 from ..obs.telemetry import current as current_telemetry
 from ..runner import (
+    CancelToken,
     PoolRunner,
     ResourceWatchdog,
     RetryPolicy,
@@ -297,6 +298,7 @@ def run_sweep(
     watchdog: Optional[ResourceWatchdog] = None,
     telemetry: Optional[Telemetry] = None,
     profile_dir: "Union[str, Path, None]" = None,
+    cancel: Optional[CancelToken] = None,
 ) -> RunResult:
     """Evaluate configurations through the resilient engine.
 
@@ -321,6 +323,12 @@ def run_sweep(
     workers in the parallel case); ``profile_dir`` opts into per-unit
     :mod:`cProfile` capture.  Neither changes any result or artefact
     byte — the sweep's outputs are identical with telemetry on or off.
+
+    ``cancel`` hooks the sweep into a lifecycle supervisor: once the
+    token trips (first SIGTERM/SIGINT), the sweep drains — in-flight
+    points finish and are journalled, queued points are left for a
+    ``resume=True`` re-run — and the returned result marks itself
+    ``interrupted``.
     """
     journal = (
         RunJournal.open(journal_path, resume=resume) if journal_path is not None else None
@@ -336,6 +344,7 @@ def run_sweep(
             keep_going=keep_going,
             telemetry=telemetry,
             profile_dir=profile_path,
+            cancel=cancel,
         )
     else:
         l1_shapes = sorted({(c.l1_bytes, c.line_size) for c in configs})
@@ -351,6 +360,7 @@ def run_sweep(
             watchdog=watchdog,
             telemetry=telemetry,
             profile_dir=profile_path,
+            cancel=cancel,
         )
     return runner.run(units)
 
@@ -393,6 +403,7 @@ def run_sweep_dir(
     watchdog: Optional[ResourceWatchdog] = None,
     telemetry: Union[bool, Telemetry] = False,
     profile: bool = False,
+    cancel: Optional[CancelToken] = None,
 ) -> Tuple[RunResult, List[SweepPoint]]:
     """Sweep the paper's design space into a managed artefact directory.
 
@@ -408,6 +419,12 @@ def run_sweep_dir(
     artefacts, like the journal — and ``profile`` captures a per-unit
     cProfile under ``profiles/``.  Every result-bearing artefact stays
     byte-identical to a telemetry-off run.
+
+    ``cancel`` (see :func:`run_sweep`) lets a lifecycle supervisor
+    drain the sweep: the table, failure manifest, and directory
+    manifest below are still written for everything that completed, so
+    the directory stays verifiable and resumable after an interrupted
+    run.
     """
     out_dir = Path(out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -448,6 +465,7 @@ def run_sweep_dir(
         watchdog=guard,
         telemetry=bundle,
         profile_dir=(out_dir / PROFILE_DIR_NAME) if profile else None,
+        cancel=cancel,
     )
     points = [as_point(value) for value in result.values()]
     lines = [

@@ -20,6 +20,7 @@ __all__ = [
     "ResourceError",
     "ServeError",
     "UnitTimeoutError",
+    "AbortError",
     "LintError",
     "ObsError",
 ]
@@ -130,4 +131,14 @@ class UnitTimeoutError(RunnerError):
 
     Timeouts are deliberately not retried: a configuration that blows
     its budget once is assumed pathological, not transient.
+    """
+
+
+class AbortError(RunnerError):
+    """A run was aborted hard after its graceful drain was exhausted.
+
+    Raised by the lifecycle supervisor on the *second* shutdown signal
+    (or when the drain deadline elapses): in-flight work is abandoned,
+    but every unit that finished before the abort is already journalled,
+    so ``--resume`` picks up exactly where the abort cut in.
     """

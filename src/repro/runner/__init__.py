@@ -8,7 +8,9 @@ out over workers with identical guarantees and bit-identical output,
 :mod:`repro.runner.atomic` for torn-write-free artefact persistence,
 :mod:`repro.runner.integrity` for self-verifying artefacts (sha256
 sidecars, per-directory manifests, ``repro verify``),
-:mod:`repro.runner.watchdog` for resource-guarded execution, and
+:mod:`repro.runner.watchdog` for resource-guarded execution,
+:mod:`repro.runner.lifecycle` for supervision (graceful drain on
+SIGTERM/SIGINT, worker heartbeats, wall-clock budgets), and
 :mod:`repro.runner.faults` for the deterministic fault-injection hooks
 that prove the machinery works.
 """
@@ -41,6 +43,15 @@ from .integrity import (
     write_sidecar,
 )
 from .journal import JOURNAL_SCHEMA, RunJournal, unit_key
+from .lifecycle import (
+    EXIT_ABORTED,
+    EXIT_DRAINED,
+    CancelToken,
+    Heartbeat,
+    HeartbeatRecord,
+    Supervisor,
+    read_heartbeats,
+)
 from .pool import PoolRunner, resolve_workers
 from .watchdog import ResourceWatchdog, WatchdogPolicy, peak_rss_bytes
 
@@ -71,6 +82,13 @@ __all__ = [
     "verify_tree",
     "write_manifest",
     "write_sidecar",
+    "EXIT_ABORTED",
+    "EXIT_DRAINED",
+    "CancelToken",
+    "Heartbeat",
+    "HeartbeatRecord",
+    "Supervisor",
+    "read_heartbeats",
     "PoolRunner",
     "resolve_workers",
     "ResourceWatchdog",

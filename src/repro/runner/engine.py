@@ -29,22 +29,20 @@ loop so all four behaviours are testable.
 from __future__ import annotations
 
 import hashlib
-import signal
-import threading
 import time
-from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from pathlib import Path
 
-from ..errors import RunnerError, UnitTimeoutError
+from ..errors import AbortError, RunnerError, UnitTimeoutError
 from ..lfsr import Lfsr16
 from ..obs.profile import capture_profile, profile_path
 from ..obs.telemetry import DISABLED as _DISABLED_TELEMETRY
 from ..obs.telemetry import Telemetry, activate
 from . import faults
 from .journal import RunJournal, unit_key
+from .lifecycle import CancelToken, Heartbeat, unit_timeout
 
 __all__ = [
     "RetryPolicy",
@@ -190,9 +188,16 @@ class UnitOutcome:
 
 @dataclass(frozen=True)
 class RunResult:
-    """All outcomes of one :meth:`Runner.run` call, in unit order."""
+    """All outcomes of one :meth:`Runner.run` call, in unit order.
+
+    ``interrupted`` is None for a run that covered every unit; when a
+    :class:`~repro.runner.lifecycle.CancelToken` drained the run early
+    it holds the cancel reason, and the missing units are exactly the
+    ones a ``--resume`` against the same journal will pick up.
+    """
 
     outcomes: Tuple[UnitOutcome, ...]
+    interrupted: Optional[str] = None
 
     @property
     def completed(self) -> List[UnitOutcome]:
@@ -229,57 +234,6 @@ def error_record(unit: RunUnit, error: BaseException, attempts: int, elapsed_s: 
     }
 
 
-@contextmanager
-def unit_timeout(
-    seconds: Optional[float], *, force_deadline: bool = False
-) -> Iterator[None]:
-    """Raise :class:`UnitTimeoutError` after ``seconds`` of wall clock.
-
-    Two enforcement mechanisms, picked automatically:
-
-    * **pre-emptive** — ``SIGALRM``/``setitimer`` interrupts the unit
-      mid-flight; only available on the main thread of a POSIX process
-      (signals cannot be delivered to other threads);
-    * **deadline** — everywhere else (worker threads, processes without
-      ``SIGALRM``, or ``force_deadline=True``) the unit runs to
-      completion and the budget is checked afterwards: an overrunning
-      unit still fails with :class:`UnitTimeoutError` and its result is
-      discarded, it just cannot be aborted mid-run.
-
-    Either way the budget is *enforced* — the historical behaviour of
-    silently skipping enforcement off the main thread is gone.  With
-    ``seconds`` None/0 the context is a no-op.
-    """
-    if seconds is None or seconds <= 0:
-        yield
-        return
-    preemptive = (
-        not force_deadline
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not preemptive:
-        started = time.monotonic()
-        yield
-        if time.monotonic() - started > seconds:
-            raise UnitTimeoutError(
-                f"unit exceeded its {seconds:g}s wall-clock budget "
-                f"(detected at the deadline check)"
-            )
-        return
-
-    def _alarm(signum, frame):
-        raise UnitTimeoutError(f"unit exceeded its {seconds:g}s wall-clock budget")
-
-    previous = signal.signal(signal.SIGALRM, _alarm)
-    signal.setitimer(signal.ITIMER_REAL, float(seconds))
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
 def execute_attempts(
     unit: RunUnit,
     retry: Optional[RetryPolicy] = None,
@@ -288,6 +242,7 @@ def execute_attempts(
     force_deadline: bool = False,
     telemetry: Optional[Telemetry] = None,
     profile_dir: Optional[Path] = None,
+    heartbeat: Optional[Heartbeat] = None,
 ) -> UnitOutcome:
     """Run one unit's full attempt loop; never touches a journal.
 
@@ -307,6 +262,10 @@ def execute_attempts(
     last attempt wins).  Neither affects the outcome: telemetry is
     measured *around* the model code, never inside it (REP002), and a
     telemetry-off run is byte-identical.
+
+    ``heartbeat`` (a :class:`~repro.runner.lifecycle.Heartbeat`) stamps
+    this process's liveness file at the start of every attempt, so a
+    supervising parent can tell a long unit from a wedged one.
     """
     retry = retry if retry is not None else RetryPolicy()
     telemetry = telemetry if telemetry is not None else _DISABLED_TELEMETRY
@@ -320,6 +279,8 @@ def execute_attempts(
         while True:
             attempts += 1
             attempt_started = time.monotonic()
+            if heartbeat is not None:
+                heartbeat.beat(unit.unit_id, phase="run")
             try:
                 with unit_timeout(timeout_s, force_deadline=force_deadline):
                     # The scope lets write-path fault hooks (and any future
@@ -328,6 +289,11 @@ def execute_attempts(
                         faults.before_unit(unit.unit_id)
                         with capture_profile(profile_to):
                             value = unit.run()
+            except AbortError:
+                # A hard abort (second shutdown signal delivered mid-unit)
+                # is not a unit failure: it propagates like an injected
+                # crash, with everything already journalled staying put.
+                raise
             except Exception as error:
                 elapsed = time.monotonic() - started
                 duration = time.monotonic() - attempt_started
@@ -409,6 +375,7 @@ class Runner:
         sleep: Callable[[float], None] = time.sleep,
         telemetry: Optional[Telemetry] = None,
         profile_dir: Optional[Path] = None,
+        cancel: Optional[CancelToken] = None,
     ):
         self.journal = journal
         self.retry = retry if retry is not None else RetryPolicy()
@@ -417,16 +384,24 @@ class Runner:
         self._sleep = sleep
         self.telemetry = telemetry if telemetry is not None else _DISABLED_TELEMETRY
         self.profile_dir = profile_dir
+        self.cancel = cancel
 
     def run(self, units: Sequence[RunUnit]) -> RunResult:
         outcomes: List[UnitOutcome] = []
+        interrupted: Optional[str] = None
         for unit in units:
+            if self.cancel is not None and self.cancel.cancelled:
+                # Drain: the unit that was executing when the token
+                # tripped has finished and is journalled; stop here.
+                self.cancel.raise_if_expired()
+                interrupted = self.cancel.reason
+                break
             outcome = self._run_unit(unit)
             outcomes.append(outcome)
             if outcome.status == "failed" and not self.keep_going:
                 break
         self.telemetry.flush([unit.unit_id for unit in units])
-        return RunResult(tuple(outcomes))
+        return RunResult(tuple(outcomes), interrupted=interrupted)
 
     def _resume_outcome(self, unit: RunUnit) -> Optional[UnitOutcome]:
         return resume_outcome(self.journal, unit)

@@ -23,6 +23,8 @@ Specification grammar (comma-separated, e.g.
     slowworker=<unit>[:<s>]   sleep before *every* attempt of <unit>
     pooldeath=<unit>[:<times>] hard-kill the worker running <unit>, <times> times
     poisonmemo=<key>[:<times>] bit-rot a memo-store entry after it is written
+    hang=<unit>[:<seconds>]   wedge the pool worker running <unit> (no heartbeat)
+    sigterm=<unit>            deliver SIGTERM to the supervising process on <unit>
 
 ``corrupt``/``bitflip``/``partial`` emulate damage that *bypassed* the
 atomic-rename discipline (a torn write, silent media bit rot), so
@@ -44,6 +46,20 @@ mid-request); ``poisonmemo`` flips a bit in a just-written memo-store
 artefact *after* its sidecar was recorded — the poisoned entry must be
 detected on read, quarantined, and never served.
 
+The lifecycle kinds exercise supervision (:mod:`repro.runner.lifecycle`).
+``hang`` wedges a pool worker in an uninterruptible sleep *before* the
+unit's heartbeat-stamped attempt begins, exactly the stuck-in-C-code
+shape the RSS watchdog cannot see; the parent's liveness check must
+kill the worker and requeue the unit.  Outside a pool worker it is a
+no-op (the serial engine's pre-emptive ``SIGALRM`` already bounds a
+wedged unit), which is also what lets a rescue-exhausted pool finish
+the hanging unit on the serial rung.  ``sigterm`` delivers a real
+SIGTERM to the supervising process (the pool's parent, or the serial
+process itself) when the named unit starts, driving the
+graceful-drain machinery end to end; it fires once per process tree,
+and the unit then proceeds normally — a drain lets in-flight work
+finish.
+
 Unit ids may themselves contain colons (sweep units look like
 ``0007:8:64``): the optional argument is split off at the *last* colon,
 so a colon-bearing unit id must spell the argument out explicitly
@@ -55,6 +71,7 @@ from __future__ import annotations
 import errno
 import multiprocessing
 import os
+import signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
@@ -121,6 +138,9 @@ class FaultPlan:
     pooldeath_times: int = 1
     poisonmemo_unit: Optional[str] = None
     poisonmemo_times: int = 1
+    hang_unit: Optional[str] = None
+    hang_s: float = 30.0
+    sigterm_unit: Optional[str] = None
 
 
 _installed: Optional[FaultPlan] = None
@@ -184,11 +204,17 @@ def parse_plan(spec: str) -> FaultPlan:
                 plan = replace(
                     plan, poisonmemo_unit=unit, poisonmemo_times=int(arg) if arg else 1
                 )
+            elif key == "hang":
+                plan = replace(
+                    plan, hang_unit=unit, hang_s=float(arg) if arg else 30.0
+                )
+            elif key == "sigterm":
+                plan = replace(plan, sigterm_unit=value)
             else:
                 raise RunnerError(
                     f"unknown fault kind {key!r}; expected fail/crash/delay/corrupt/"
                     f"bitflip/partial/enospc/killworker/slowworker/pooldeath/"
-                    f"poisonmemo"
+                    f"poisonmemo/hang/sigterm"
                 )
         except ValueError:
             raise RunnerError(f"bad fault argument in {part!r}") from None
@@ -259,6 +285,7 @@ def before_unit(unit_id: str) -> None:
         if multiprocessing.parent_process() is not None:
             # A hard worker death: no exception, no cleanup, no reply —
             # the parent observes a broken pool, as with a real OOM kill.
+            # repro: lint-ok[REP013] emulating a SIGKILL requires a true hard exit; routing it through the lifecycle drain would defeat the fault
             os._exit(86)
         # No worker to kill in the main process; the fault is a no-op so
         # a degraded-to-serial rerun of the same unit can complete.
@@ -270,7 +297,26 @@ def before_unit(unit_id: str) -> None:
         # Same mechanics as killworker, but times-bounded and wildcard-
         # addressable: the serve path must survive repeated pool deaths
         # by rebuilding its executor, so the soak needs more than one.
+        # repro: lint-ok[REP013] emulating a SIGKILL requires a true hard exit; routing it through the lifecycle drain would defeat the fault
         os._exit(86)
+    if (
+        _matches(plan.hang_unit, unit_id)
+        and multiprocessing.parent_process() is not None
+        and _fires("hang", unit_id, 1)
+    ):
+        # Wedge this worker *after* the heartbeat stamped the unit as
+        # running: the stamp goes stale and the parent's liveness check
+        # must kill us.  Bounded (not an infinite loop) so a run without
+        # hang detection still terminates; outside a pool worker this is
+        # a no-op — the serial engine's SIGALRM already bounds a unit.
+        time.sleep(plan.hang_s)
+    if _matches(plan.sigterm_unit, unit_id) and _fires("sigterm", "*", 1):
+        parent = multiprocessing.parent_process()
+        target = parent.pid if parent is not None else os.getpid()
+        # A real mid-flight shutdown signal to the supervising process;
+        # this unit then proceeds normally — a graceful drain lets
+        # in-flight work finish and journal.
+        os.kill(target, signal.SIGTERM)
     if plan.crash_unit == unit_id:
         raise InjectedCrash(f"injected crash before unit {unit_id}")
     if plan.delay_unit == unit_id and plan.delay_s > 0:

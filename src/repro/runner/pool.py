@@ -48,6 +48,8 @@ from __future__ import annotations
 
 import os
 import pickle
+import shutil
+import tempfile
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -68,6 +70,7 @@ from .engine import (
     resume_outcome,
 )
 from .journal import RunJournal
+from .lifecycle import CancelToken, Heartbeat, HeartbeatRecord, read_heartbeats
 from .watchdog import ResourceWatchdog, peak_rss_bytes
 
 __all__ = ["PoolRunner", "resolve_workers"]
@@ -114,6 +117,7 @@ class _WorkerTask:
     timeout_s: Optional[float] = None
     telemetry_on: bool = False
     profile_dir: Optional[str] = None
+    heartbeat_dir: Optional[str] = None
 
 
 def _execute_task(task: _WorkerTask) -> dict:
@@ -134,13 +138,17 @@ def _execute_task(task: _WorkerTask) -> dict:
         to_record=task.to_record,
     )
     telemetry = Telemetry() if task.telemetry_on else None
+    heartbeat = Heartbeat(task.heartbeat_dir) if task.heartbeat_dir else None
     outcome = execute_attempts(
         unit,
         retry=task.retry,
         timeout_s=task.timeout_s,
         telemetry=telemetry,
         profile_dir=Path(task.profile_dir) if task.profile_dir else None,
+        heartbeat=heartbeat,
     )
+    if heartbeat is not None:
+        heartbeat.beat(task.unit_id, phase="idle")
     reply: Dict[str, Any] = {
         "status": outcome.status,
         "attempts": outcome.attempts,
@@ -174,6 +182,22 @@ def _execute_task(task: _WorkerTask) -> dict:
         else:
             reply["exception"] = outcome.exception
     return reply
+
+
+def _kill_workers(executor: ProcessPoolExecutor) -> None:
+    """SIGKILL every live worker of ``executor`` (abort path only).
+
+    ``shutdown(wait=True)`` would otherwise block forever behind a
+    wedged worker; killing first makes the join prompt.  Reaches into
+    the executor's private process table — there is no public handle on
+    worker processes — so it degrades to a no-op if that ever changes.
+    """
+    processes: Any = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:
+            pass
 
 
 class PoolRunner:
@@ -229,6 +253,7 @@ class PoolRunner:
         watchdog: Optional[ResourceWatchdog] = None,
         telemetry: Optional[Telemetry] = None,
         profile_dir: Optional[Path] = None,
+        cancel: Optional[CancelToken] = None,
     ):
         if workers < 1:
             raise RunnerError(f"PoolRunner needs at least one worker, got {workers}")
@@ -244,8 +269,11 @@ class PoolRunner:
         self.watchdog = watchdog
         self.telemetry = telemetry if telemetry is not None else _DISABLED_TELEMETRY
         self.profile_dir = profile_dir
+        self.cancel = cancel
         #: Why the last run shed its workers, or None if it never did.
         self.degraded_reason: Optional[str] = None
+        #: Hung workers killed-and-requeued during the last run.
+        self.rescues = 0
 
     def run(self, units: Sequence[RunUnit]) -> RunResult:
         units = list(units)
@@ -253,6 +281,7 @@ class PoolRunner:
         if len(set(unit_ids)) != len(unit_ids):
             raise RunnerError("duplicate unit ids in one parallel run")
         self.degraded_reason = None
+        self.rescues = 0
         if self.watchdog is not None and self.journal is not None:
             self.watchdog.preflight_disk(self.journal.path.parent)
         outcomes: Dict[str, UnitOutcome] = {}
@@ -269,6 +298,9 @@ class PoolRunner:
         if self.journal is not None:
             self.journal.rewrite_ordered(unit_ids)
         self.telemetry.flush(unit_ids)
+        interrupted: Optional[str] = None
+        if self.cancel is not None and self.cancel.cancelled:
+            interrupted = self.cancel.reason
         ordered: List[UnitOutcome] = []
         for unit in units:
             outcome = outcomes.get(unit.unit_id)
@@ -277,7 +309,7 @@ class PoolRunner:
             ordered.append(outcome)
             if outcome.status == "failed" and not self.keep_going:
                 break
-        return RunResult(tuple(ordered))
+        return RunResult(tuple(ordered), interrupted=interrupted)
 
     def _submission(self, pending: Sequence[RunUnit]) -> List[RunUnit]:
         if self.submit_order is None:
@@ -294,19 +326,25 @@ class PoolRunner:
         pending = list(pending)
         stopping = self._drive_pool(pending, outcomes)
         if self.degraded_reason is not None:
-            self.telemetry.count(
-                "repro_degradations_total",
-                reason="rss" if "RSS" in self.degraded_reason else "worker-death",
-            )
+            reason = "worker-death"
+            if "RSS" in self.degraded_reason:
+                reason = "rss"
+            elif "hung" in self.degraded_reason:
+                reason = "hung-worker"
+            self.telemetry.count("repro_degradations_total", reason=reason)
         if self.degraded_reason is None or stopping:
             return
         # Degradation ladder, final rung before --resume: the pool was
-        # shed (RSS ceiling) or broke (worker death); finish the units
-        # that never produced an outcome serially in the parent, with
-        # the same retry/timeout/journal semantics workers had.
+        # shed (RSS ceiling), broke (worker death), or exhausted its
+        # hung-worker rescue budget; finish the units that never
+        # produced an outcome serially in the parent, with the same
+        # retry/timeout/journal semantics workers had.
         for unit in pending:
             if unit.unit_id in outcomes:
                 continue
+            if self.cancel is not None and self.cancel.cancelled:
+                self.cancel.raise_if_expired()
+                break
             outcome = execute_attempts(
                 unit,
                 retry=self.retry,
@@ -331,14 +369,84 @@ class PoolRunner:
         Sets :attr:`degraded_reason` (leaving the un-finished units
         without outcomes) when the watchdog sheds the pool or a worker
         dies with a watchdog installed.
+
+        The pool runs in *generations*: normally one, but killing a
+        hung worker breaks the whole :class:`ProcessPoolExecutor` (its
+        manager terminates every sibling), so each rescue starts a
+        fresh generation that resubmits exactly the units still without
+        an outcome — completed units are journalled and never
+        re-executed.
         """
+        order = self._submission(pending)
+        heartbeat_dir: Optional[str] = None
+        if (
+            self.watchdog is not None
+            and self.watchdog.policy.hang_timeout_s is not None
+        ):
+            heartbeat_dir = tempfile.mkdtemp(prefix="repro-heartbeat-")
+        rescue_counts: Dict[str, int] = {}
+        stopping = False
+        try:
+            while True:
+                remaining = [
+                    unit for unit in order if unit.unit_id not in outcomes
+                ]
+                if not remaining:
+                    break
+                stopping, rebuild = self._drive_generation(
+                    remaining, outcomes, heartbeat_dir, rescue_counts
+                )
+                if stopping or not rebuild or self.degraded_reason is not None:
+                    break
+                if self.cancel is not None and self.cancel.cancelled:
+                    break
+        finally:
+            if heartbeat_dir is not None:
+                shutil.rmtree(heartbeat_dir, ignore_errors=True)
+        return stopping
+
+    def _drive_generation(
+        self,
+        units: Sequence[RunUnit],
+        outcomes: Dict[str, UnitOutcome],
+        heartbeat_dir: Optional[str],
+        rescue_counts: Dict[str, int],
+    ) -> Tuple[bool, bool]:
+        """One executor's lifetime; returns ``(stopping, rebuild)``.
+
+        ``rebuild`` is True only when a hung worker was killed within
+        budget: the caller starts a fresh generation for the units left
+        without outcomes (including the hung one, which gets a fresh
+        worker).  Exhausting the budget sets :attr:`degraded_reason`
+        instead, handing the leftovers to the serial rung.
+        """
+        if heartbeat_dir is not None:
+            # Stale stamps from a previous generation's (killed) workers
+            # must not trigger instant re-rescues.
+            for stale in Path(heartbeat_dir).glob("*.json"):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
+        hang_limit = (
+            self.watchdog.policy.hang_timeout_s
+            if self.watchdog is not None and heartbeat_dir is not None
+            else None
+        )
+        poll: Optional[float] = None
+        if hang_limit is not None:
+            poll = max(0.05, hang_limit / 4.0)
+        elif self.cancel is not None:
+            poll = 0.25
         executor = ProcessPoolExecutor(
-            max_workers=min(self.workers, len(pending)),
+            max_workers=min(self.workers, len(units)),
             mp_context=self.mp_context,
             initializer=self.initializer,
             initargs=self.initargs,
         )
         stopping = False
+        rebuild = False
+        drained = False
         try:
             futures = {
                 executor.submit(
@@ -354,14 +462,31 @@ class PoolRunner:
                         profile_dir=(
                             str(self.profile_dir) if self.profile_dir else None
                         ),
+                        heartbeat_dir=heartbeat_dir,
                     ),
                 ): unit
-                for unit in self._submission(pending)
+                for unit in units
             }
             submitted = {future: index for index, future in enumerate(futures)}
             not_done = set(futures)
             while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                if (
+                    self.cancel is not None
+                    and self.cancel.cancelled
+                    and not drained
+                ):
+                    # Drain: queued units never start (they stay
+                    # outcome-less for --resume); running units finish
+                    # and are journalled below.
+                    drained = True
+                    for other in not_done:
+                        other.cancel()
+                if self.cancel is not None and self.cancel.expired():
+                    _kill_workers(executor)
+                    self.cancel.raise_if_expired()
+                done, not_done = wait(
+                    not_done, timeout=poll, return_when=FIRST_COMPLETED
+                )
                 # A done *batch* is processed in submission order: when a
                 # crash arrives together with results, everything that
                 # finished before the crashing unit is journalled first,
@@ -438,9 +563,68 @@ class PoolRunner:
                         stopping = True
                         for other in not_done:
                             other.cancel()
+                if (
+                    hang_limit is not None
+                    and heartbeat_dir is not None
+                    and not_done
+                    and not stopping
+                    and self.degraded_reason is None
+                ):
+                    in_flight = {
+                        futures[future].unit_id
+                        for future in not_done
+                        if not future.cancelled()
+                    }
+                    hung = [
+                        beat
+                        for beat in self.watchdog.hung_workers(  # type: ignore[union-attr]
+                            read_heartbeats(heartbeat_dir)
+                        )
+                        if beat.unit_id in in_flight
+                    ]
+                    if hung:
+                        self._rescue(executor, hung, rescue_counts)
+                        rebuild = self.degraded_reason is None
+                        for other in not_done:
+                            other.cancel()
+                        break
         finally:
             executor.shutdown(wait=True, cancel_futures=True)
-        return stopping
+        return stopping, rebuild
+
+    def _rescue(
+        self,
+        executor: ProcessPoolExecutor,
+        hung: Sequence[HeartbeatRecord],
+        rescue_counts: Dict[str, int],
+    ) -> None:
+        """Kill hung workers and charge the rescue budget.
+
+        Killing any worker breaks the executor (its manager terminates
+        the siblings), so the caller abandons this generation either
+        way; within budget the next generation resubmits, past it
+        :attr:`degraded_reason` routes the leftovers to the serial rung
+        — where a deterministically-hanging unit cannot re-wedge a pool
+        it is no longer in.
+        """
+        processes: Any = getattr(executor, "_processes", None) or {}
+        for beat in hung:
+            victim = processes.get(beat.pid)
+            if victim is not None:
+                victim.kill()
+            self.rescues += 1
+            unit_id = beat.unit_id or ""
+            rescue_counts[unit_id] = rescue_counts.get(unit_id, 0) + 1
+            self.telemetry.count("repro_runner_rescues_total")
+        budget = (
+            self.watchdog.policy.max_rescues if self.watchdog is not None else 0
+        )
+        repeat_offender = any(count >= 2 for count in rescue_counts.values())
+        if self.rescues > budget or repeat_offender:
+            self.degraded_reason = (
+                f"hung-worker rescue budget exhausted after {self.rescues} "
+                f"rescue(s); finishing remaining units serially"
+            )
 
     def _outcome_from_reply(self, unit: RunUnit, reply: dict) -> UnitOutcome:
         value = None

@@ -18,11 +18,16 @@ both into typed, recoverable behaviour:
   throughput instead of dying on memory pressure.  A worker that is
   killed outright (OOM, ``killworker`` fault) breaks the pool; with a
   watchdog installed the parent likewise falls back to serial execution
-  instead of aborting the run.
+  instead of aborting the run;
+* **liveness** — pool workers stamp heartbeat files between unit
+  attempts (:mod:`repro.runner.lifecycle`); a worker whose
+  ``run``-phase stamp goes staler than ``hang_timeout_s`` is declared
+  hung, killed, and its unit requeued on the survivors, up to
+  ``max_rescues`` times before the run degrades to serial.
 
 The degradation ladder, mildest to harshest: preflight refusal →
-retryable ``CheckpointError`` per write → shed workers, finish serial →
-journal-backed ``--resume``.
+retryable ``CheckpointError`` per write → hung worker killed and unit
+requeued → shed workers, finish serial → journal-backed ``--resume``.
 """
 
 from __future__ import annotations
@@ -31,12 +36,13 @@ import shutil
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 from ..errors import ResourceError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.telemetry import Telemetry
+    from .lifecycle import HeartbeatRecord
 
 try:
     import resource as _resource
@@ -76,16 +82,32 @@ class WatchdogPolicy:
     ``min_free_bytes`` gates the disk preflight; ``max_worker_rss_bytes``
     (None = unlimited) is the per-worker peak-RSS ceiling past which the
     pool sheds workers and degrades to serial.
+
+    ``hang_timeout_s`` (None = no liveness check) is how stale a pool
+    worker's ``run``-phase heartbeat may grow before the worker is
+    declared hung, killed, and its unit requeued; it must comfortably
+    exceed the longest legitimate gap between heartbeat stamps (one
+    unit attempt), so set it well above the per-unit timeout when both
+    are in play.  ``max_rescues`` bounds how many hung workers one run
+    will kill-and-requeue before giving up and degrading to serial
+    execution (each rescue restarts the pool, so unbounded rescues
+    against a deterministically-hanging unit would loop forever).
     """
 
     min_free_bytes: int = DEFAULT_MIN_FREE_BYTES
     max_worker_rss_bytes: Optional[int] = None
+    hang_timeout_s: Optional[float] = None
+    max_rescues: int = 3
 
     def __post_init__(self) -> None:
         if self.min_free_bytes < 0:
             raise ResourceError("min_free_bytes must be non-negative")
         if self.max_worker_rss_bytes is not None and self.max_worker_rss_bytes <= 0:
             raise ResourceError("max_worker_rss_bytes must be positive")
+        if self.hang_timeout_s is not None and self.hang_timeout_s <= 0:
+            raise ResourceError("hang_timeout_s must be positive")
+        if self.max_rescues < 0:
+            raise ResourceError("max_rescues must be non-negative")
 
 
 class ResourceWatchdog:
@@ -136,3 +158,20 @@ class ResourceWatchdog:
             )
         limit = self.policy.max_worker_rss_bytes
         return limit is not None and rss_bytes is not None and rss_bytes > limit
+
+    def hung_workers(
+        self, heartbeats: Sequence["HeartbeatRecord"]
+    ) -> List["HeartbeatRecord"]:
+        """The workers whose ``run``-phase heartbeat went stale.
+
+        ``heartbeats`` come from
+        :func:`~repro.runner.lifecycle.read_heartbeats` over the pool's
+        heartbeat directory.  An ``idle`` stamp never counts as hung no
+        matter how old — a worker waiting for work heartbeats only when
+        a unit starts.  With no ``hang_timeout_s`` configured the check
+        is off and this always returns an empty list.
+        """
+        limit = self.policy.hang_timeout_s
+        if limit is None:
+            return []
+        return [beat for beat in heartbeats if beat.running and beat.age_s > limit]

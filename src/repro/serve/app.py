@@ -38,16 +38,18 @@ import asyncio
 import functools
 import json
 import math
+import signal
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
-from ..errors import ReproError, RunnerError, ServeError
+from ..errors import ReproError, RunnerError, ServeError, UnitTimeoutError
 from ..obs import Telemetry
 from ..runner import (
+    EXIT_ABORTED,
     ResourceWatchdog,
     RetryPolicy,
     RunJournal,
@@ -67,6 +69,7 @@ from .compute import (
 from .errors import (
     BadRequestError,
     DeadlineError,
+    DrainingError,
     NotFoundError,
     OversizeError,
     UpstreamError,
@@ -185,10 +188,18 @@ class ServeApp:
             "coalesced": 0,
             "timeouts": 0,
             "errors": 0,
+            "abandoned": 0,
         }
         self._started = self.telemetry.clock.monotonic()
         self._in_flight = 0
         self._request_seq = 0
+        #: True once a shutdown signal began the drain: new compute is
+        #: refused with 503 while in-flight requests run to completion.
+        self.draining = False
+        self.drain_reason: Optional[str] = None
+        # Pool-backed compute futures still outstanding; what a pool
+        # discard would abandon (counted in stats["abandoned"]).
+        self._pool_futures: Set["asyncio.Future[Any]"] = set()
 
     # ------------------------------------------------------------------
     # Telemetry: live projection + event counters.
@@ -290,8 +301,17 @@ class ServeApp:
 
     def _discard_pool(self) -> None:
         pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+        if pool is None:
+            return
+        # Futures still outstanding when the pool is thrown away never
+        # produce a reply; count them instead of dropping them silently
+        # (the projection surfaces repro_serve_abandoned_total).
+        abandoned = sum(
+            1 for future in list(self._pool_futures) if not future.done()
+        )
+        if abandoned:
+            self.stats["abandoned"] += abandoned
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def _degrade(self, reason: str) -> None:
         """One-way fallback to serial execution; stays visible on /healthz."""
@@ -311,6 +331,13 @@ class ServeApp:
         self.degraded_reason = None
         self.breaker.record_success()
 
+    def _pool_future_done(self, future: "asyncio.Future[Any]") -> None:
+        self._pool_futures.discard(future)
+        if not future.cancelled():
+            # A 504'd request abandons its await; retrieve the outcome
+            # so the worker's UnitTimeoutError never warns at GC.
+            future.exception()
+
     async def _submit(self, request: dict) -> dict:
         loop = asyncio.get_running_loop()
         backend = self._backend()
@@ -318,7 +345,10 @@ class ServeApp:
             # Degraded/serial: the default thread executor keeps the
             # event loop (health checks, shedding) responsive.
             return await loop.run_in_executor(None, compute_point, request)
-        return await loop.run_in_executor(backend, compute_point, request)
+        future = loop.run_in_executor(backend, compute_point, request)
+        self._pool_futures.add(future)
+        future.add_done_callback(self._pool_future_done)
+        return await future
 
     # Memo and journal are synchronous disk I/O (REP007: they bottom
     # out in file reads/writes and fsync).  Every call from the async
@@ -366,6 +396,31 @@ class ServeApp:
                     )
             except asyncio.CancelledError:
                 raise
+            except UnitTimeoutError as error:
+                # The request's deadline, propagated into the worker as
+                # ``budget_s``, fired: the client is already getting its
+                # 504 from the front-end race, so retrying would burn
+                # another pool slot computing an answer nobody awaits.
+                # Not a breaker failure — the backend is healthy, the
+                # request was just too expensive for its budget.
+                await self._journal_record(
+                    key,
+                    key,
+                    "failed",
+                    attempts=attempts,
+                    elapsed_s=time.monotonic() - started,
+                    error={
+                        "unit": key,
+                        "type": type(error).__name__,
+                        "message": str(error),
+                        "degraded_reason": self.degraded_reason,
+                    },
+                )
+                raise DeadlineError(
+                    f"compute for {key} exceeded its "
+                    f"{self.policy.deadline_s:g}s budget in the worker",
+                    retry_after_s=self.policy.retry_after_s,
+                ) from None
             except Exception as error:  # transient compute failure
                 failure = error
                 self.breaker.record_failure()
@@ -431,6 +486,11 @@ class ServeApp:
             "config": config.to_dict(),
             "workload": workload,
             "scale": scale,
+            # Deadline propagation: the worker enforces the request's
+            # budget itself (pre-emptive SIGALRM on its main thread), so
+            # a 504'd request frees its pool slot instead of leaking the
+            # computation.
+            "budget_s": self.policy.deadline_s,
         }
         record, leader = await self.flight.run(
             key, lambda: self._compute_cold(key, request)
@@ -446,7 +506,8 @@ class ServeApp:
             self.stats["timeouts"] += 1
             raise DeadlineError(
                 f"request exceeded its {self.policy.deadline_s:g}s deadline "
-                f"(the computation continues and will be memoized)",
+                f"(the worker-side budget cancels the computation and "
+                f"frees its pool slot)",
                 retry_after_s=self.policy.retry_after_s,
             ) from None
 
@@ -541,9 +602,16 @@ class ServeApp:
     def health(self) -> dict:
         """The /healthz document (also used directly by tests)."""
         hit_rate = self.memo_hit_rate()
+        if self.draining:
+            status = "draining"
+        elif self.degraded_reason:
+            status = "degraded"
+        else:
+            status = "ok"
         return {
             "schema": 1,
-            "status": "degraded" if self.degraded_reason else "ok",
+            "status": status,
+            "draining": self.draining,
             "degraded_reason": self.degraded_reason,
             "breaker": self.breaker.state,
             "workers": self.n_workers or 0,
@@ -643,6 +711,14 @@ class ServeApp:
         handler = routes.get((method, path))
         if handler is None:
             raise NotFoundError(f"no handler for {method} {path}")
+        if method == "POST" and self.draining:
+            # Read-only endpoints keep answering (health checks watch
+            # the drain); new compute is refused with a back-off hint.
+            raise DrainingError(
+                f"service is draining ({self.drain_reason}); "
+                f"retry against a live instance",
+                retry_after_s=self.policy.retry_after_s,
+            )
         if method == "POST":
             try:
                 payload = json.loads(body) if body else {}
@@ -760,12 +836,36 @@ class ServeApp:
             raise RunnerError("serve_forever() before start()")
         await self._server.serve_forever()
 
+    def begin_drain(self, reason: str) -> None:
+        """Enter the drain phase: refuse new compute, finish in-flight.
+
+        The listener stays open so /healthz keeps reporting
+        ``draining`` and POSTs get an honest 503 + Retry-After instead
+        of a connection refusal; :meth:`wait_drained` then completes
+        once the last admitted request has answered.
+        """
+        if not self.draining:
+            self.draining = True
+            self.drain_reason = reason
+
+    async def wait_drained(self, poll_s: float = 0.05) -> None:
+        """Block until every in-flight request has completed.
+
+        Polling (rather than an event bound at construction time) keeps
+        the app loop-agnostic; the drain is signal-paced, so a 50 ms
+        poll is invisible.
+        """
+        while self._in_flight > 0:
+            await asyncio.sleep(poll_s)
+
     async def stop(self) -> None:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         self._discard_pool()
+        # wait=True drains the queued memo/journal writes, leaving the
+        # store manifest-consistent however the shutdown started.
         self._io_executor.shutdown(wait=True)
 
 
@@ -777,23 +877,87 @@ def run_serve(
     workers: Union[None, int, str] = "auto",
     policy: Optional[ServePolicy] = None,
 ) -> int:
-    """Run the service in the foreground (the CLI entry point)."""
+    """Run the service in the foreground (the CLI entry point).
+
+    Two-phase shutdown: the first SIGTERM/SIGINT begins a graceful
+    drain — the listener keeps answering (/healthz says ``draining``,
+    POSTs get 503 + Retry-After), in-flight requests complete, queued
+    memo/journal writes flush, and the process exits 0.  A second
+    signal aborts: in-flight work is abandoned (pool futures are
+    counted as such) and the process exits ``EXIT_ABORTED``; the memo
+    store stays manifest-consistent either way because every store
+    write is atomic and the I/O executor is drained on stop.
+    """
     app = ServeApp(store, workers=workers, policy=policy)
 
-    async def main() -> None:
+    async def main() -> int:
         await app.start(host, port)
+        loop = asyncio.get_running_loop()
+        drain_begun = asyncio.Event()
+        abort = asyncio.Event()
+
+        def on_signal(name: str) -> None:
+            if not app.draining:
+                app.begin_drain(f"received {name}")
+                drain_begun.set()
+                print(
+                    f"repro serve: {name} received; draining — in-flight "
+                    f"requests finishing, new compute refused with 503 "
+                    f"(signal again to abort)",
+                    flush=True,
+                )
+            else:
+                abort.set()
+                print(
+                    "repro serve: second signal; aborting with in-flight "
+                    "work abandoned",
+                    flush=True,
+                )
+
+        installed = []
+        for name in ("SIGTERM", "SIGINT"):
+            signum = getattr(signal, name, None)
+            if signum is None:  # pragma: no cover - non-POSIX platforms
+                continue
+            try:
+                loop.add_signal_handler(signum, on_signal, name)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                continue
+            installed.append(signum)
+        # Only now advertise readiness: anyone who reacts to this line
+        # with a signal must find the two-phase handlers already in
+        # place, or the default disposition would kill us mid-start.
         print(
             f"repro serve: listening on http://{host}:{app.port} "
             f"(store {app.store_dir}, workers {app.n_workers or 'serial'})",
             flush=True,
         )
+        tasks = {
+            loop.create_task(app.serve_forever()),
+            loop.create_task(drain_begun.wait()),
+        }
         try:
-            await app.serve_forever()
+            await asyncio.wait(tasks, return_when=asyncio.FIRST_COMPLETED)
+            if drain_begun.is_set():
+                waiters = {
+                    loop.create_task(app.wait_drained()),
+                    loop.create_task(abort.wait()),
+                }
+                tasks |= waiters
+                await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
+            return EXIT_ABORTED if abort.is_set() else 0
         finally:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            for signum in installed:
+                loop.remove_signal_handler(signum)
             await app.stop()
 
     try:
-        asyncio.run(main())
-    except KeyboardInterrupt:
-        pass
-    return 0
+        return asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - non-POSIX fallback
+        # Only reachable where loop signal handlers are unavailable;
+        # asyncio.run's cleanup cancels main(), whose finally has
+        # already stopped the app and flushed the store.
+        return EXIT_ABORTED

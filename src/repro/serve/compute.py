@@ -31,6 +31,7 @@ from ..core.evaluate import SystemPerformance, evaluate
 from ..core.explorer import design_space
 from ..errors import ConfigurationError
 from ..runner import faults, unit_key
+from ..runner.lifecycle import unit_timeout
 from ..runner.watchdog import peak_rss_bytes
 from ..traces.workloads import WORKLOADS
 from .errors import BadRequestError
@@ -252,10 +253,19 @@ def compute_point(request: dict) -> dict:
     hooks as a batch unit (under the canonical key as unit id), so the
     serve-side ``REPRO_FAULTS`` kinds fire here, inside the worker.
     Returns the record plus the worker's peak RSS for the watchdog.
+
+    ``budget_s``, when present, is the request's deadline propagated
+    into the worker as a wall-clock budget: on the worker's main thread
+    the pre-emptive ``SIGALRM`` cancels the computation the moment the
+    budget blows — the pool slot is freed at the same instant the
+    service answers 504, instead of the abandoned compute occupying a
+    worker.  (On the degraded in-thread path the budget is enforced
+    post-hoc; the slot frees when the unit completes.)
     """
     key = request["key"]
     config = SystemConfig.from_dict(request["config"])
-    with faults.unit_scope(key):
-        faults.before_unit(key)
-        perf = evaluate(config, request["workload"], scale=request["scale"])
+    with unit_timeout(request.get("budget_s")):
+        with faults.unit_scope(key):
+            faults.before_unit(key)
+            perf = evaluate(config, request["workload"], scale=request["scale"])
     return {"record": point_record(perf), "rss_bytes": peak_rss_bytes()}

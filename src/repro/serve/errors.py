@@ -20,6 +20,7 @@ __all__ = [
     "BreakerOpenError",
     "UpstreamError",
     "DeadlineError",
+    "DrainingError",
 ]
 
 
@@ -77,8 +78,23 @@ class UpstreamError(ServeError):
 class DeadlineError(ServeError):
     """The request exceeded its per-request deadline (504).
 
-    The underlying computation is *not* cancelled — a late result is
-    still memoized, so the client's retry is served warm.
+    The deadline travels into the worker as the unit's wall-clock
+    budget (``budget_s``), so the underlying computation is cancelled
+    at the same moment the client gets its 504 — a blown request frees
+    its pool slot instead of occupying a worker to compute an answer
+    nobody is waiting for.
     """
 
     status = 504
+
+
+class DrainingError(ServeError):
+    """The service is draining after a shutdown signal (503).
+
+    New compute is refused with ``Retry-After`` while in-flight
+    requests run to completion and the memo store is left
+    manifest-consistent; read-only endpoints keep answering so health
+    checks can watch the drain.
+    """
+
+    status = 503

@@ -33,9 +33,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from ..errors import ReproError
+from ..errors import AbortError, ReproError
 from ..obs.telemetry import DISABLED as _DISABLED_TELEMETRY, Telemetry
-from ..runner import faults, tree_fingerprint
+from ..runner import (
+    ResourceWatchdog,
+    Supervisor,
+    WatchdogPolicy,
+    faults,
+    tree_fingerprint,
+)
 from ..runner.integrity import RUN_METADATA_NAME, SIDECAR_SUFFIX, is_volatile
 from .registry import experiment_ids
 from .repair import verify_and_repair
@@ -44,9 +50,19 @@ from .resultstore import write_report
 __all__ = ["ChaosResult", "run_chaos"]
 
 #: Fault kinds a soak round may draw.  ``delay`` is excluded (it only
-#: slows the soak down) and ``killworker`` is drawn only when the soak
-#: actually runs a pool.
-_ROUND_KINDS = ("fail", "crash", "corrupt", "bitflip", "partial", "enospc")
+#: slows the soak down); ``killworker`` and ``hang`` are drawn only
+#: when the soak actually runs a pool (``hang`` is a worker-side wedge:
+#: serially it is a no-op by design).  ``sigterm`` exercises the
+#: lifecycle drain — a real shutdown signal lands mid-flight and the
+#: round must stop gracefully with everything journalled.
+_ROUND_KINDS = (
+    "fail", "crash", "corrupt", "bitflip", "partial", "enospc", "sigterm"
+)
+
+#: Liveness limit the soak's pool rounds run under: a worker silent for
+#: this long while marked running is declared hung and rescued.  Short,
+#: because the injected ``hang`` wedge sleeps far longer than this.
+_SOAK_HANG_TIMEOUT_S = 2.0
 
 
 @dataclass
@@ -100,7 +116,7 @@ def _random_schedule(
     rng: random.Random, unit_ids: List[str], with_pool: bool
 ) -> str:
     """Draw one round's fault specification (possibly empty)."""
-    kinds = list(_ROUND_KINDS) + (["killworker"] if with_pool else [])
+    kinds = list(_ROUND_KINDS) + (["killworker", "hang"] if with_pool else [])
     n_faults = rng.randint(0, 2)
     parts = []
     used_kinds = set()
@@ -116,6 +132,10 @@ def _random_schedule(
             parts.append(f"enospc={unit}:{rng.randint(1, 2)}")
         elif kind == "partial":
             parts.append(f"partial={unit}:{rng.randint(0, 64)}")
+        elif kind == "hang":
+            # Far beyond the soak's liveness limit: the wedge must be
+            # rescued (kill + requeue), never waited out.
+            parts.append(f"hang={unit}:30")
         else:
             parts.append(f"{kind}={unit}")
     return ",".join(parts)
@@ -169,22 +189,40 @@ def _soak_round(
     scale: Optional[float],
     workers: "Union[None, int, str]",
 ) -> None:
-    """One faulted ``write_report`` pass; crashes/failures are expected."""
+    """One faulted ``write_report`` pass; crashes/failures are expected.
+
+    Every round runs under a :class:`~repro.runner.Supervisor`, so an
+    injected ``sigterm`` lands exactly like an operator's Ctrl-C: the
+    round drains (in-flight experiments finish and journal) instead of
+    dying mid-write.  Pool rounds also run with a hang-capable watchdog
+    so an injected ``hang`` wedge is rescued, not waited out.
+    """
     previous = os.environ.get(faults.ENV_VAR)
     if schedule:
         os.environ[faults.ENV_VAR] = schedule
+    pooled = workers not in (None, 0, "", "serial")
+    guard = (
+        ResourceWatchdog(WatchdogPolicy(hang_timeout_s=_SOAK_HANG_TIMEOUT_S))
+        if pooled
+        else None
+    )
     try:
-        write_report(
-            soak,
-            ids=ids,
-            scale=scale,
-            resume=True,
-            keep_going=True,
-            retries=1,
-            workers=workers,
-        )
+        with Supervisor() as supervisor:
+            write_report(
+                soak,
+                ids=ids,
+                scale=scale,
+                resume=True,
+                keep_going=True,
+                retries=1,
+                workers=workers,
+                watchdog=guard,
+                cancel=supervisor.token,
+            )
     except faults.InjectedCrash:
         pass  # simulated kill mid-run; the journal survives
+    except AbortError:
+        pass  # drain overrun aborted hard; journalled units survive
     except ReproError:
         pass  # e.g. an injected failure surfacing through strict paths
     finally:

@@ -26,6 +26,7 @@ from ..errors import ExperimentError, ReproError
 from ..obs.telemetry import Telemetry
 from ..runner import (
     RUN_METADATA_NAME,
+    CancelToken,
     PoolRunner,
     ResourceWatchdog,
     RetryPolicy,
@@ -227,6 +228,7 @@ def write_report(
     workers: "Union[None, int, str]" = None,
     watchdog: Optional[ResourceWatchdog] = None,
     telemetry: "Union[bool, Telemetry]" = False,
+    cancel: Optional[CancelToken] = None,
 ) -> List[str]:
     """Run experiments and write ``<id>.json`` / ``<id>.txt`` + an index.
 
@@ -265,6 +267,12 @@ def write_report(
         records per-experiment metrics and spans into
         ``METRICS.jsonl`` / ``SPANS.jsonl`` in ``out_dir`` — volatile
         artefacts that never change a result byte.
+    cancel:
+        Optional :class:`~repro.runner.CancelToken` (normally a
+        :class:`~repro.runner.Supervisor`'s): once tripped, the run
+        drains — in-flight experiments finish and are journalled, the
+        rest are left for ``--resume`` — and the index/manifest below
+        still cover everything that completed.
 
     Returns
     -------
@@ -304,6 +312,7 @@ def write_report(
             timeout_s=timeout_s,
             keep_going=keep_going,
             telemetry=bundle,
+            cancel=cancel,
         )
     else:
         runner = PoolRunner(
@@ -314,6 +323,7 @@ def write_report(
             workers=n_workers,
             watchdog=guard,
             telemetry=bundle,
+            cancel=cancel,
         )
     run = runner.run([_report_unit(out, experiment, scale) for experiment in experiments])
 

@@ -1,0 +1,22 @@
+"""REP013 positive fixture: ad-hoc process control outside the lifecycle."""
+
+import atexit
+import os
+import signal
+
+
+def _on_term(signum, frame):
+    raise SystemExit(1)
+
+
+def install_handlers():
+    signal.signal(signal.SIGTERM, _on_term)  # finding: replaces the supervisor
+    signal.setitimer(signal.ITIMER_REAL, 5.0)  # finding: ad-hoc interval timer
+
+
+def bail_out():
+    os._exit(3)  # finding: skips the drain's journal/manifest flush
+
+
+def register_cleanup(fn):
+    atexit.register(fn)  # finding: shadow shutdown path

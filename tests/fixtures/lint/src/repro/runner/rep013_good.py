@@ -1,0 +1,22 @@
+"""REP013 negative fixture: shutdown routed through the lifecycle API."""
+
+
+def run_units(units, cancel, run_one):
+    """Cooperative drain: poll the supervisor's token between units."""
+    outcomes = []
+    for unit in units:
+        if cancel is not None and cancel.cancelled:
+            break
+        outcomes.append(run_one(unit))
+    return outcomes
+
+
+def bounded(unit_timeout, budget_s, body):
+    """Wall-clock budgets go through the sanctioned context manager."""
+    with unit_timeout(budget_s):
+        return body()
+
+
+def fail(message):
+    """Abnormal exits raise; the CLI entry point owns the exit code."""
+    raise RuntimeError(message)

@@ -1,0 +1,7 @@
+"""REP013 suppressed fixture: an explained hard exit."""
+
+import os
+
+
+def emulate_oom_kill():
+    os._exit(86)  # repro: lint-ok[REP013] fault hook emulating a SIGKILLed worker; a catchable exception would not reproduce the failure mode

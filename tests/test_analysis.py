@@ -30,6 +30,7 @@ RULE_FIXTURES = {
     "REP005": FIXTURES / "benchmarks",
     "REP006": FIXTURES / "src" / "repro" / "traces",
     "REP012": FIXTURES / "src" / "repro" / "obs",
+    "REP013": FIXTURES / "src" / "repro" / "runner",
 }
 
 
@@ -95,6 +96,7 @@ class TestRegistry:
         ("REP005", 6),
         ("REP006", 4),
         ("REP012", 5),
+        ("REP013", 4),
     ],
 )
 class TestRuleFixtures:

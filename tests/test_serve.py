@@ -2,7 +2,13 @@
 
 import asyncio
 import json
+import os
+import signal
+import subprocess
+import sys
 import threading
+import time
+from pathlib import Path
 
 import pytest
 
@@ -599,3 +605,103 @@ class TestObservabilityEndpoints:
             in text
         )
         assert "repro_serve_breaker_state 2" in text
+
+
+class TestLifecycleDrain:
+    """Graceful shutdown: 503 during drain, freed slots, honest counters."""
+
+    def test_draining_refuses_compute_but_keeps_reads(self, tmp_path):
+        with BackgroundServer(tmp_path / "store") as server:
+            warm = server.request("POST", "/v1/evaluate", PAYLOAD)
+            server.call(server.app.begin_drain, "received SIGTERM")
+            health = json.loads(server.request("GET", "/healthz")[2])
+            status, headers, body = server.request(
+                "POST", "/v1/evaluate", dict(PAYLOAD, l2_kb=32)
+            )
+            metrics = server.request("GET", "/metrics")
+        assert warm[0] == 200
+        assert health["status"] == "draining"
+        assert health["draining"] is True
+        assert status == 503
+        assert "retry-after" in headers
+        error = json.loads(body)["error"]
+        assert error["type"] == "DrainingError"
+        assert "received SIGTERM" in error["message"]
+        assert metrics[0] == 200  # read-only endpoints outlive the drain
+
+    def test_deadline_frees_the_pool_slot(self, tmp_path, monkeypatch):
+        # Wedge only the first request's compute (2.0s against a 0.4s
+        # budget); the budget travels into the worker as budget_s, so
+        # the 504 frees the single slot for the second request.
+        key = point_key(*normalize_point(PAYLOAD))
+        monkeypatch.setenv(faults.ENV_VAR, f"slowworker={key}:2.0")
+        policy = ServePolicy(deadline_s=0.4, retries=0)
+        with BackgroundServer(
+            tmp_path / "store", workers=1, policy=policy
+        ) as server:
+            s1, h1, _ = server.request("POST", "/v1/evaluate", PAYLOAD)
+            other = dict(PAYLOAD, l2_kb=32)
+            started = time.monotonic()
+            s2, _, b2 = server.request("POST", "/v1/evaluate", other)
+            elapsed = time.monotonic() - started
+            stats = json.loads(server.request("GET", "/v1/stats")[2])
+        assert s1 == 504 and "retry-after" in h1
+        assert s2 == 200 and b2 == reference_bytes(other)
+        # Well under the 2.0s wedge: the slot was freed at the deadline,
+        # the second compute never queued behind the abandoned one.
+        assert elapsed < 1.5
+        assert stats["requests"]["timeouts"] >= 1
+
+    def test_abandoned_pool_futures_are_counted(self, tmp_path):
+        with BackgroundServer(tmp_path / "store", workers=2) as server:
+            warm = server.request("POST", "/v1/evaluate", PAYLOAD)
+
+            def abandon():
+                app = server.app
+                future = asyncio.get_running_loop().create_future()
+                app._pool_futures.add(future)
+                app._degrade("pool thrown away mid-compute (test)")
+                future.cancel()
+                app._pool_futures.discard(future)
+                return app.stats["abandoned"]
+
+            abandoned = server.call(abandon)
+            stats = json.loads(server.request("GET", "/v1/stats")[2])
+            text = server.request("GET", "/metrics")[2].decode()
+        assert warm[0] == 200
+        assert abandoned == 1
+        assert stats["requests"]["abandoned"] == 1
+        assert "repro_serve_abandoned_total 1" in text
+
+
+class TestServeSignalShutdown:
+    """`repro serve` drains on SIGTERM and exits 0 (satellite)."""
+
+    def test_sigterm_drains_and_exits_cleanly(self, tmp_path):
+        repo_root = Path(__file__).resolve().parents[1]
+        env = os.environ.copy()
+        env["PYTHONPATH"] = str(repo_root / "src")
+        env.pop(faults.ENV_VAR, None)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--store", str(tmp_path / "store"),
+                "--port", "0", "--workers", "serial",
+            ],
+            cwd=tmp_path,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "listening" in line, line
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "draining" in out
